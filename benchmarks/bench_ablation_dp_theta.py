@@ -1,0 +1,67 @@
+"""Ablation — Douglas-Peucker tolerance (the paper's theta = 0.01).
+
+Sweeps ``dp_tolerance`` and reports the feature footprint
+(representative points per trajectory), local-filter power (exact
+evaluations avoided), and end-to-end query time.
+
+Expected trade-off: small theta keeps many representative points —
+tighter bounds but more feature computation; large theta keeps almost
+none — cheap features but leaky filtering.  The paper's 0.01 sits in
+the flat middle.
+"""
+
+import statistics
+
+from repro import TraSS, TraSSConfig
+from repro.bench.harness import run_threshold_workload
+from repro.bench.reporting import print_table
+from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+from repro.data.workload import sample_queries
+from repro.features.dp_features import extract_dp_features
+
+from conftest import EARTH, scaled_size
+
+THETAS = (0.001, 0.005, 0.01, 0.05)
+EPS = 0.01
+
+
+def test_ablation_dp_tolerance(benchmark):
+    data = tdrive_like(scaled_size(600), seed=211)
+    queries = sample_queries(data, 6, seed=212)
+    rows = []
+    for theta in THETAS:
+        cfg = TraSSConfig(
+            bounds=EARTH,
+            max_resolution=16,
+            dp_tolerance=theta,
+            shards=8,
+        )
+        engine = TraSS.build(data, cfg)
+        stats = run_threshold_workload(engine, queries, EPS)
+        mean_rep = statistics.fmean(
+            extract_dp_features(t.points, theta).num_rep_points for t in data
+        )
+        rows.append(
+            [
+                theta,
+                mean_rep,
+                stats.median_ms,
+                stats.mean_candidates,
+                stats.precision,
+            ]
+        )
+    print_table(
+        ["theta", "rep points/traj", "median ms", "candidates", "precision"],
+        rows,
+        f"Ablation: DP tolerance sweep (eps={EPS})",
+    )
+
+    # Feature footprint shrinks monotonically with theta.
+    footprints = [r[1] for r in rows]
+    assert footprints == sorted(footprints, reverse=True)
+
+    benchmark.pedantic(
+        lambda: extract_dp_features(data[0].points, 0.01),
+        rounds=5,
+        iterations=1,
+    )

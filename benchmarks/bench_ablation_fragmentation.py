@@ -1,0 +1,46 @@
+"""Ablation — scan-range fragmentation vs. the merge gap.
+
+Section IV-C motivates the continuous integer encoding with the cost of
+fragmented key ranges ("using the simple concatenation will make the
+encoding discontinuous, which will increase the number of key range
+searches").  This bench measures the residual fragmentation of real
+plans and how bridging small value gaps (``range_merge_gap``) trades
+range seeks against junk rows.
+"""
+
+from repro.bench.reporting import print_table
+from repro.index.analysis import analyse_plans, fragmentation_vs_merge_gap
+from repro.index.ranges import merge_values_to_ranges
+
+EPS = 0.01
+GAPS = (0, 1, 4, 16, 64)
+
+
+def test_ablation_fragmentation(benchmark, tdrive_engine, tdrive_queries):
+    report = analyse_plans(tdrive_engine, tdrive_queries, EPS)
+    print()
+    print("Plan quality at eps=0.01:")
+    print(report.summary())
+
+    sweep = fragmentation_vs_merge_gap(
+        tdrive_engine, tdrive_queries, EPS, GAPS
+    )
+    rows = [[gap, sweep[gap]] for gap in GAPS]
+    print_table(
+        ["merge gap", "ranges/query"],
+        rows,
+        "Ablation: range fragmentation vs merge gap",
+    )
+
+    # Bridging gaps can only reduce (or keep) the range count.
+    counts = [sweep[g] for g in GAPS]
+    assert counts == sorted(counts, reverse=True)
+    # The depth-first encoding should keep plans far below one range
+    # per index space (the continuity the paper designed for).
+    assert report.mean_ranges < report.mean_index_spaces
+
+    benchmark.pedantic(
+        lambda: analyse_plans(tdrive_engine, tdrive_queries[:3], EPS),
+        rounds=3,
+        iterations=1,
+    )

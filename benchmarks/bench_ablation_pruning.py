@@ -1,0 +1,101 @@
+"""Ablation — what each pruning layer buys (DESIGN.md design choices).
+
+Three configurations of the same engine answer the same workload:
+
+1. full TraSS (position codes + all local-filter stages),
+2. no position codes (Lemmas 10-11 off — element-level pruning only,
+   i.e. XZ-Ordering's power on XZ* layout),
+3. no local filter (Lemmas 12-14 off — every retrieved row goes to the
+   exact measure).
+
+Paper expectation (Section IV-B / Figure 11): position codes cut the
+rows scanned substantially; local filtering cuts the expensive exact
+evaluations.
+"""
+
+import statistics
+import time
+
+from repro.bench.reporting import print_table
+from repro.core.local_filter import LocalFilter, LocalFilterRowFilter
+from repro.core.pruning import GlobalPruner
+from repro.measures import get_measure
+
+EPS = 0.01
+
+
+def run_config(engine, queries, use_codes, stages):
+    """One workload pass under an ablated configuration."""
+    pruner = GlobalPruner(
+        engine.store.index,
+        engine.config.max_planned_elements,
+        use_position_codes=use_codes,
+    )
+    measure = get_measure("frechet")
+    times = []
+    retrieved = []
+    refined = []
+    answers = []
+    for query in queries:
+        started = time.perf_counter()
+        plan = pruner.prune(query, EPS)
+        local = LocalFilter(
+            query, measure, EPS, engine.config.dp_tolerance, stages=stages
+        )
+        row_filter = LocalFilterRowFilter(local)
+        before = engine.metrics.snapshot()
+        rows = engine.store.table.scan_ranges(
+            engine.store.scan_ranges_for(plan.ranges), row_filter
+        )
+        hits = 0
+        for key, _ in rows:
+            record = row_filter.accepted[key]
+            if measure.within(query.points, record.points, EPS):
+                hits += 1
+        times.append(time.perf_counter() - started)
+        retrieved.append(engine.metrics.diff(before)["rows_scanned"])
+        refined.append(len(rows))
+        answers.append(hits)
+    return (
+        1000 * statistics.median(times),
+        statistics.fmean(retrieved),
+        statistics.fmean(refined),
+        statistics.fmean(answers),
+    )
+
+
+def test_ablation_pruning_layers(benchmark, tdrive_engine, tdrive_queries):
+    configs = [
+        ("full TraSS", True, None),
+        ("no position codes", False, None),
+        ("no local filter", True, frozenset()),
+        ("MBR gap only", True, frozenset({"mbr"})),
+    ]
+    rows = []
+    results = {}
+    for label, use_codes, stages in configs:
+        median_ms, mean_retrieved, mean_refined, mean_answers = run_config(
+            tdrive_engine, tdrive_queries, use_codes, stages
+        )
+        results[label] = (mean_retrieved, mean_refined)
+        rows.append([label, median_ms, mean_retrieved, mean_refined, mean_answers])
+    print_table(
+        ["configuration", "median ms", "rows scanned", "exact evals", "answers"],
+        rows,
+        f"Ablation: pruning layers (T-Drive, eps={EPS})",
+    )
+
+    # Position codes must reduce rows scanned; answers identical.
+    assert results["full TraSS"][0] <= results["no position codes"][0]
+    # Local filtering must reduce exact-measure evaluations.
+    assert results["full TraSS"][1] <= results["no local filter"][1]
+    answer_counts = {row[0]: row[4] for row in rows}
+    assert len(set(answer_counts.values())) == 1, (
+        "every ablation must return the same answers"
+    )
+
+    benchmark.pedantic(
+        lambda: run_config(tdrive_engine, tdrive_queries[:2], True, None),
+        rounds=2,
+        iterations=1,
+    )

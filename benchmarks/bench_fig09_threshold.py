@@ -1,0 +1,52 @@
+"""Figure 9 — threshold similarity search.
+
+Reproduces both panels:
+
+* 9(a): median query time vs ``eps`` for TraSS, JUST, DFT, DITA;
+* 9(b): candidates remaining after pruning vs ``eps``.
+
+Paper shape to check: TraSS fastest at every ``eps`` (one to two orders
+of magnitude at small ``eps``), with by far the fewest candidates; all
+systems grow with ``eps``.
+"""
+
+from repro.bench.harness import run_threshold_workload
+from repro.bench.reporting import print_table
+
+from conftest import EPS_SWEEP
+
+
+def test_fig09_threshold_tdrive(
+    benchmark, tdrive_engine, tdrive_baselines, tdrive_queries
+):
+    systems = {"TraSS": tdrive_engine, **tdrive_baselines}
+    time_rows = []
+    cand_rows = []
+    for name, system in systems.items():
+        time_row = [name]
+        cand_row = [name]
+        for eps in EPS_SWEEP:
+            stats = run_threshold_workload(system, tdrive_queries, eps, name)
+            time_row.append(stats.median_ms)
+            cand_row.append(stats.mean_candidates)
+        time_rows.append(time_row)
+        cand_rows.append(cand_row)
+
+    headers = ["system"] + [f"eps={e}" for e in EPS_SWEEP]
+    print_table(headers, time_rows, "Fig 9(a) T-Drive: median query time (ms)")
+    print_table(headers, cand_rows, "Fig 9(b) T-Drive: mean candidates")
+
+    # Shape assertions: TraSS no slower and no less selective than JUST.
+    trass_times = time_rows[0][1:]
+    just_times = next(r for r in time_rows if r[0] == "JUST")[1:]
+    assert sum(trass_times) <= sum(just_times)
+    trass_cands = cand_rows[0][1:]
+    just_cands = next(r for r in cand_rows if r[0] == "JUST")[1:]
+    assert sum(trass_cands) <= sum(just_cands)
+
+    query = tdrive_queries[0]
+    benchmark.pedantic(
+        lambda: tdrive_engine.threshold_search(query, 0.01),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,53 @@
+"""Figure 10 — top-k similarity search.
+
+Reproduces both panels on the T-Drive stand-in:
+
+* 10(a): median query time vs ``k`` for TraSS, JUST, DFT, DITA, REPOSE;
+* 10(b): candidates vs ``k``.
+
+Paper shape: TraSS fastest; DFT and REPOSE retain by far the most
+candidates (DFT's sample-derived threshold admits large windows).
+"""
+
+from repro.bench.harness import run_topk_workload
+from repro.bench.reporting import print_table
+
+from conftest import K_SWEEP
+
+
+def test_fig10_topk_tdrive(
+    benchmark, tdrive_engine, tdrive_baselines, tdrive_repose, tdrive_queries
+):
+    systems = {
+        "TraSS": tdrive_engine,
+        **tdrive_baselines,
+        "REPOSE": tdrive_repose,
+    }
+    queries = tdrive_queries[: max(3, len(tdrive_queries) // 2)]
+    time_rows = []
+    cand_rows = []
+    for name, system in systems.items():
+        time_row = [name]
+        cand_row = [name]
+        for k in K_SWEEP:
+            stats = run_topk_workload(system, queries, k, name)
+            time_row.append(stats.median_ms)
+            cand_row.append(stats.mean_candidates)
+        time_rows.append(time_row)
+        cand_rows.append(cand_row)
+
+    headers = ["system"] + [f"k={k}" for k in K_SWEEP]
+    print_table(headers, time_rows, "Fig 10(a) T-Drive: median query time (ms)")
+    print_table(headers, cand_rows, "Fig 10(b) T-Drive: mean candidates")
+
+    # Shape: TraSS verifies fewer candidates than DFT at the largest k.
+    trass_cands = cand_rows[0][-1]
+    dft_cands = next(r for r in cand_rows if r[0] == "DFT")[-1]
+    assert trass_cands <= dft_cands
+
+    query = queries[0]
+    benchmark.pedantic(
+        lambda: tdrive_engine.topk_search(query, K_SWEEP[1]),
+        rounds=3,
+        iterations=1,
+    )

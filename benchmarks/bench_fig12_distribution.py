@@ -1,0 +1,44 @@
+"""Figure 12 — distribution of trajectories over the XZ* index.
+
+* 12(a): trajectory count per resolution.  Paper shape: mass in a
+  mid-resolution band set by trip sizes, plus a spike at the maximum
+  resolution caused by stationary (waiting) taxis.
+* 12(b): trajectory count per position code — the fine-grained
+  granularity the position codes add inside each element.
+"""
+
+from repro.bench.reporting import print_table
+
+
+def test_fig12_distribution(benchmark, tdrive_engine, tdrive_data):
+    store = tdrive_engine.store
+    res_hist = store.resolution_histogram()
+    code_hist = store.position_code_histogram()
+
+    max_res = store.config.max_resolution
+    rows = [
+        [level, res_hist.get(level, 0)] for level in sorted(res_hist)
+    ]
+    print_table(
+        ["resolution", "trajectories"],
+        rows,
+        "Fig 12(a): trajectories per resolution",
+    )
+    print_table(
+        ["position code", "trajectories"],
+        [[code, code_hist.get(code, 0)] for code in range(1, 11)],
+        "Fig 12(b): trajectories per position code",
+    )
+
+    # Shape assertions.
+    stationary = sum(1 for t in tdrive_data if t.is_stationary())
+    assert res_hist.get(max_res, 0) >= stationary, (
+        "stationary taxis must pile up at the maximum resolution"
+    )
+    # Moving trajectories occupy a band strictly below the maximum.
+    moving_mass = sum(v for lvl, v in res_hist.items() if lvl < max_res)
+    assert moving_mass > 0
+    # Position codes spread across several combinations.
+    assert len([c for c, v in code_hist.items() if v > 0]) >= 4
+
+    benchmark.pedantic(store.resolution_histogram, rounds=3, iterations=1)

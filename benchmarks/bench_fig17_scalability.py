@@ -1,0 +1,62 @@
+"""Figure 17 — scalability on synthetic scaled datasets.
+
+The paper copies the Lorry dataset ``t`` times (t = 1..5) and reports
+indexing time, threshold-search time and top-k time.  Paper shape:
+indexing grows linearly; query time grows slowly ("the query is
+transformed as a set of key ranges ... the algorithm complexity does
+not change with the increase of the number of trajectories"), and the
+TraSS advantage widens with data size.
+"""
+
+import time
+
+from repro import TraSS, TraSSConfig
+from repro.bench.harness import run_threshold_workload, run_topk_workload
+from repro.bench.reporting import print_table
+from repro.data.generators import LORRY_BOUNDS, lorry_like, scaled
+from repro.data.workload import sample_queries
+
+from conftest import EARTH, scaled_size
+
+SCALES = (1, 2, 3, 4)
+
+
+def test_fig17_scalability(benchmark):
+    base = lorry_like(scaled_size(250), seed=117)
+    queries = sample_queries(base, 5, seed=118)
+    rows = []
+    for t in SCALES:
+        data = scaled(base, t, seed=t)
+        cfg = TraSSConfig(
+            bounds=EARTH, max_resolution=16, dp_tolerance=0.01, shards=8
+        )
+        started = time.perf_counter()
+        engine = TraSS.build(data, cfg)
+        build_seconds = time.perf_counter() - started
+        threshold_stats = run_threshold_workload(engine, queries, 0.01)
+        topk_stats = run_topk_workload(engine, queries[:3], 10)
+        rows.append(
+            [
+                f"x{t}",
+                len(data),
+                build_seconds,
+                threshold_stats.median_ms,
+                topk_stats.median_ms,
+            ]
+        )
+    print_table(
+        ["scale", "trajectories", "index time (s)", "threshold ms", "top-k ms"],
+        rows,
+        "Fig 17: scalability on synthetic scaled Lorry (eps=0.01, k=10)",
+    )
+
+    # Shape: indexing time grows with data size; query time grows far
+    # slower than linearly (sub-2x over a 4x data growth is typical —
+    # assert it at least stays under proportional growth).
+    assert rows[-1][2] > rows[0][2]
+    growth = rows[-1][3] / max(rows[0][3], 1e-9)
+    assert growth < SCALES[-1] * 2
+
+    benchmark.pedantic(
+        lambda: scaled(base, 2, seed=9), rounds=3, iterations=1
+    )

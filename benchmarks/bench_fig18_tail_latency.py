@@ -1,0 +1,57 @@
+"""Figure 18 — tail latency (99th percentile).
+
+Paper shape: TraSS's p99 is below the baselines' p99 for both query
+types — the pruning pipeline bounds worst-case work, not just median
+work.
+"""
+
+from repro.bench.harness import run_threshold_workload, run_topk_workload
+from repro.bench.reporting import print_table
+
+EPS = 0.01
+K = 10
+
+
+def test_fig18_tail_latency(
+    benchmark, tdrive_engine, tdrive_baselines, tdrive_queries
+):
+    rows = []
+    systems = {"TraSS": tdrive_engine, **tdrive_baselines}
+    for name, system in systems.items():
+        threshold_stats = run_threshold_workload(
+            system, tdrive_queries, EPS, name
+        )
+        topk_stats = run_topk_workload(
+            system, tdrive_queries[: max(3, len(tdrive_queries) // 2)], K, name
+        )
+        rows.append(
+            [
+                name,
+                threshold_stats.median_ms,
+                threshold_stats.p99_ms,
+                topk_stats.median_ms,
+                topk_stats.p99_ms,
+            ]
+        )
+    print_table(
+        [
+            "system",
+            "thr median ms",
+            "thr p99 ms",
+            "top-k median ms",
+            "top-k p99 ms",
+        ],
+        rows,
+        f"Fig 18: tail latency (eps={EPS}, k={K})",
+    )
+
+    for row in rows:
+        assert row[2] >= row[1]  # p99 >= median, sanity
+        assert row[4] >= row[3]
+
+    query = tdrive_queries[0]
+    benchmark.pedantic(
+        lambda: tdrive_engine.threshold_search(query, EPS),
+        rounds=3,
+        iterations=1,
+    )

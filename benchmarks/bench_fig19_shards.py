@@ -1,0 +1,95 @@
+"""Figure 19 — effect of the shard (salt) count.
+
+The shard byte scatters hot index ranges across regions; every query
+must scan each shard's copy of its key ranges.  Paper shape: too few
+shards concentrate similar trajectories (skew), too many multiply the
+per-query range scans (communication), with a sweet spot in between
+(8 on the paper's five-node cluster).
+
+On an embedded store the skew half of the trade-off is invisible (no
+parallel region servers), so the visible shape is the range-scan
+multiplication: ``range_seeks`` grows linearly with shards while answer
+sets stay identical.
+"""
+
+import statistics
+
+from repro import TraSS, TraSSConfig
+from repro.bench.harness import run_threshold_workload
+from repro.bench.reporting import print_table
+from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+from repro.data.workload import sample_queries
+from repro.kvstore.cluster import ClusterModel
+
+from conftest import EARTH, scaled_size
+
+SHARDS = (1, 2, 4, 8, 16)
+EPS = 0.01
+NODES = 5  # the paper's cluster size
+
+
+def test_fig19_shards(benchmark):
+    data = tdrive_like(scaled_size(600), seed=119)
+    queries = sample_queries(data, 6, seed=120)
+    rows = []
+    answer_sets = []
+    for shards in SHARDS:
+        cfg = TraSSConfig(
+            bounds=EARTH,
+            max_resolution=16,
+            dp_tolerance=0.01,
+            shards=shards,
+            max_region_rows=80,  # force enough regions to spread
+        )
+        engine = TraSS.build(data, cfg)
+        engine.metrics.reset()
+        stats = run_threshold_workload(engine, queries, EPS)
+        seeks = engine.metrics.range_seeks
+        # Five-node cluster model: per-query makespan and skew.
+        model = ClusterModel(engine.store.table, nodes=NODES)
+        makespans = []
+        skews = []
+        for query in queries:
+            plan = engine.plan(query, EPS)
+            scan_ranges = engine.store.scan_ranges_for(plan.ranges)
+            makespans.append(model.makespan(scan_ranges))
+            skews.append(model.skew(scan_ranges))
+        rows.append(
+            [
+                shards,
+                stats.median_ms,
+                seeks,
+                statistics.fmean(skews),
+                statistics.fmean(makespans),
+            ]
+        )
+        answer_sets.append(
+            frozenset(
+                frozenset(engine.threshold_search(q, EPS).answers)
+                for q in queries
+            )
+        )
+    print_table(
+        ["shards", "median ms", "range seeks", "node skew", "model makespan"],
+        rows,
+        f"Fig 19: shard sweep (eps={EPS}, {NODES}-node cluster model)",
+    )
+
+    # Shape: range seeks grow with the shard count; skew shrinks from
+    # 1 shard to 8 shards (the paper's data-skew argument); answers
+    # identical across configurations.
+    seeks = [r[2] for r in rows]
+    assert seeks == sorted(seeks)
+    skew_by_shards = {r[0]: r[3] for r in rows}
+    assert skew_by_shards[8] <= skew_by_shards[1]
+    assert all(s == answer_sets[0] for s in answer_sets)
+
+    benchmark.pedantic(
+        lambda: run_threshold_workload(
+            TraSS.build(data[:100], TraSSConfig(bounds=TDRIVE_BOUNDS, shards=8)),
+            queries[:2],
+            EPS,
+        ),
+        rounds=1,
+        iterations=1,
+    )

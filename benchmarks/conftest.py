@@ -1,0 +1,120 @@
+"""Shared benchmark fixtures.
+
+Datasets are bench-friendly scale by default (the paper's clusters and
+multi-GB datasets do not fit a unit-test budget); set
+``REPRO_BENCH_SCALE`` to a float to grow or shrink everything, e.g.
+``REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only``.
+
+Every figure's bench prints the same rows/series the paper plots, so
+shapes (who wins, by what factor) can be compared directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import SpaceBounds, TraSS, TraSSConfig
+from repro.baselines import (
+    DFTBaseline,
+    DITABaseline,
+    JustXZ2Baseline,
+    REPOSEBaseline,
+)
+from repro.data.generators import (
+    LORRY_BOUNDS,
+    TDRIVE_BOUNDS,
+    lorry_like,
+    tdrive_like,
+)
+from repro.data.workload import sample_queries
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_size(base: int) -> int:
+    return max(10, int(base * SCALE))
+
+
+TDRIVE_SIZE = scaled_size(1200)
+LORRY_SIZE = scaled_size(500)
+NUM_QUERIES = max(4, int(10 * min(SCALE, 2.0)))
+
+#: eps sweep mirroring Figure 9's 0.001..0.02 (degrees)
+EPS_SWEEP = (0.001, 0.005, 0.01, 0.02)
+#: k sweep; the paper uses 50..250 on millions of rows — scaled down
+K_SWEEP = (5, 10, 25, 50)
+
+
+@pytest.fixture(scope="session")
+def tdrive_data():
+    return tdrive_like(TDRIVE_SIZE, seed=101)
+
+
+@pytest.fixture(scope="session")
+def lorry_data():
+    return lorry_like(LORRY_SIZE, seed=102)
+
+
+# "The entire index space of the XZ* index covers the earth" and "the
+# default maximum resolution is 16" (Section VI).  City-extent bounds
+# would shift every trajectory to a coarser resolution band and change
+# all index-level comparisons, so the engines index over the earth.
+EARTH = SpaceBounds.whole_earth()
+
+
+@pytest.fixture(scope="session")
+def tdrive_config():
+    return TraSSConfig(
+        bounds=EARTH, max_resolution=16, dp_tolerance=0.01, shards=8
+    )
+
+
+@pytest.fixture(scope="session")
+def lorry_config():
+    return TraSSConfig(
+        bounds=EARTH, max_resolution=16, dp_tolerance=0.01, shards=8
+    )
+
+
+@pytest.fixture(scope="session")
+def tdrive_engine(tdrive_data, tdrive_config):
+    return TraSS.build(tdrive_data, tdrive_config)
+
+
+@pytest.fixture(scope="session")
+def lorry_engine(lorry_data, lorry_config):
+    return TraSS.build(lorry_data, lorry_config)
+
+
+@pytest.fixture(scope="session")
+def tdrive_queries(tdrive_data):
+    return sample_queries(tdrive_data, NUM_QUERIES, seed=103)
+
+
+@pytest.fixture(scope="session")
+def lorry_queries(lorry_data):
+    return sample_queries(lorry_data, NUM_QUERIES, seed=104)
+
+
+@pytest.fixture(scope="session")
+def tdrive_baselines(tdrive_data):
+    """JUST / DFT / DITA built once on the T-Drive stand-in."""
+    systems = {
+        "JUST": JustXZ2Baseline(
+            max_resolution=16, bounds=EARTH, shards=8
+        ),
+        "DFT": DFTBaseline(),
+        "DITA": DITABaseline(cell_size=0.02),
+    }
+    for system in systems.values():
+        system.build(tdrive_data)
+    return systems
+
+
+@pytest.fixture(scope="session")
+def tdrive_repose(tdrive_data):
+    system = REPOSEBaseline(num_references=4)
+    system.build(tdrive_data)
+    return system

@@ -1,0 +1,62 @@
+"""Close-contact discovery — the paper's motivating example.
+
+"To find the close contacts of a patient with an infectious disease, we
+would look for trajectories that are similar to the patient's
+trajectory" (Section I).  This example indexes a city's worth of
+movement traces, then finds every trace that stayed uniformly close to
+a patient's trace, grading contacts by how tight the bound is.
+
+Run:  python examples/contact_tracing.py
+"""
+
+from repro import TraSS, TraSSConfig, Trajectory
+from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+
+#: roughly 200m / 1km in degrees at Beijing's latitude
+CLOSE_CONTACT_EPS = 0.002
+LOOSE_CONTACT_EPS = 0.01
+
+
+def main() -> None:
+    config = TraSSConfig(
+        bounds=TDRIVE_BOUNDS, max_resolution=16, dp_tolerance=0.005, shards=8
+    )
+    population = tdrive_like(800, seed=23)
+    engine = TraSS.build(population, config)
+    print(f"indexed {len(engine)} movement traces")
+
+    # The patient's trace: a real trajectory plus GPS noise, so it is
+    # close to its source but not identical.
+    source = population[17]
+    patient = Trajectory(
+        "patient-0",
+        [(x + 0.0004, y - 0.0003) for x, y in source.points],
+    )
+
+    # Discrete Fréchet requires the *whole* trace to stay within eps —
+    # exactly the "moved together" semantics contact tracing wants
+    # (unlike a range query, which a single shared point satisfies).
+    close = engine.threshold_search(patient, CLOSE_CONTACT_EPS)
+    loose = engine.threshold_search(patient, LOOSE_CONTACT_EPS)
+
+    print(f"\nclose contacts (within {CLOSE_CONTACT_EPS} deg ~ 200 m):")
+    for tid, dist in sorted(close.answers.items(), key=lambda kv: kv[1]):
+        print(f"  {tid:<12} max separation {dist:.5f} deg")
+
+    secondary = sorted(set(loose.answers) - set(close.answers))
+    print(f"\nsecondary ring (within {LOOSE_CONTACT_EPS} deg ~ 1 km): "
+          f"{len(secondary)} traces")
+    for tid in secondary[:8]:
+        print(f"  {tid}")
+
+    print(
+        f"\npruning did the work: {close.retrieved_rows} of "
+        f"{len(engine)} rows scanned for the close ring, "
+        f"{close.candidates} candidates survived local filtering, "
+        f"precision {close.precision:.2f}"
+    )
+    assert source.tid in close.answers, "the noisy source must be found"
+
+
+if __name__ == "__main__":
+    main()

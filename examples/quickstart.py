@@ -1,0 +1,51 @@
+"""Quickstart: index trajectories and run both similarity searches.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+
+
+def main() -> None:
+    # 1. Build a TraSS engine.  The config mirrors the paper's defaults:
+    #    XZ* maximum resolution 16, Douglas-Peucker tolerance 0.01,
+    #    discrete Fréchet as the similarity measure, 8 salt shards.
+    config = TraSSConfig(
+        bounds=TDRIVE_BOUNDS,  # index space for Beijing-area data
+        max_resolution=16,
+        dp_tolerance=0.01,
+        shards=8,
+    )
+    trajectories = tdrive_like(500, seed=7)
+    engine = TraSS.build(trajectories, config)
+    print(f"indexed {len(engine)} trajectories "
+          f"({engine.store.table.num_regions} region(s))")
+
+    # 2. Threshold similarity search (Definition 3): everything within
+    #    eps of the query under discrete Fréchet.
+    query = trajectories[42]
+    result = engine.threshold_search(query, eps=0.02)
+    print(f"\nthreshold search around {query.tid} (eps=0.02):")
+    for tid, dist in sorted(result.answers.items(), key=lambda kv: kv[1])[:5]:
+        print(f"  {tid:<12} distance {dist:.5f}")
+    print(f"  ... {len(result.answers)} answers from "
+          f"{result.candidates} candidates "
+          f"({result.retrieved_rows} rows scanned)")
+
+    # 3. Top-k similarity search (Definition 4): the k nearest
+    #    trajectories, found best-first.
+    top = engine.topk_search(query, k=5)
+    print(f"\ntop-5 most similar to {query.tid}:")
+    for dist, tid in top.answers:
+        print(f"  {tid:<12} distance {dist:.5f}")
+
+    # 4. Other measures (Section VII) without rebuilding the store.
+    hausdorff_hits = engine.threshold_search(query, 0.02, measure="hausdorff")
+    dtw_hits = engine.threshold_search(query, 0.5, measure="dtw")
+    print(f"\nHausdorff (eps=0.02): {len(hausdorff_hits.answers)} answers; "
+          f"DTW (eps=0.5): {len(dtw_hits.answers)} answers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of TraSS (ICDE 2022).
+
+TraSS is an efficient framework for trajectory similarity search on
+key-value data stores.  This package reimplements the full system in
+Python: the XZ* spatial index with its bijective integer encoding, the
+global-pruning / local-filtering query pipeline for threshold and top-k
+similarity search under discrete Fréchet, Hausdorff and DTW, an
+embedded HBase-like key-value store substrate, and the baselines the
+paper compares against.
+
+Quick start::
+
+    from repro import TraSS, Trajectory
+
+    engine = TraSS.build([Trajectory("t1", [(116.30, 39.90), (116.32, 39.91)])])
+    hits = engine.threshold_search(
+        Trajectory("q", [(116.31, 39.90), (116.33, 39.91)]), eps=0.05
+    )
+"""
+
+from repro.core.config import TraSSConfig
+from repro.core.engine import TraSS
+from repro.exceptions import (
+    EncodingError,
+    GeometryError,
+    IndexingError,
+    KVStoreError,
+    QueryError,
+    ReproError,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.geometry.trajectory import Trajectory
+from repro.index.bounds import SpaceBounds
+from repro.index.xz2 import XZ2Index
+from repro.index.xzstar import XZStarIndex
+from repro.core.join import JoinResult, similarity_join
+from repro.measures import available_measures, get_measure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TraSS",
+    "TraSSConfig",
+    "Trajectory",
+    "Point",
+    "MBR",
+    "SpaceBounds",
+    "XZStarIndex",
+    "XZ2Index",
+    "available_measures",
+    "similarity_join",
+    "JoinResult",
+    "get_measure",
+    "ReproError",
+    "GeometryError",
+    "IndexingError",
+    "EncodingError",
+    "KVStoreError",
+    "QueryError",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Baseline systems the paper compares TraSS against (Section VI).
+
+Every baseline is implemented from scratch in this package, faithful to
+the property the paper's analysis leans on:
+
+* :mod:`brute` — full-scan ground truth (correctness oracle, and the
+  "no index" lower bound);
+* :mod:`rtree` — an R-tree (STR bulk load + quadratic-split inserts),
+  the dynamic index DFT builds on;
+* :mod:`dft` — DFT (VLDB'17): R-tree over segment MBRs, bitmap
+  candidate collection, and the sample-``c*k`` thresholding trick for
+  top-k;
+* :mod:`dita` — DITA (SIGMOD'18): trie over pivot points with
+  MBR-coverage filtering;
+* :mod:`just_xz2` — JUST / TrajMesa (ICDE'20): plain XZ2 index over the
+  same key-value substrate as TraSS, the central index-level comparison;
+* :mod:`repose` — REPOSE (ICDE'21): reference-point trie, top-k only.
+
+All baselines expose ``threshold_search(query, eps)`` and/or
+``topk_search(query, k)`` returning the shared result types, plus the
+same candidate accounting, so the benches can tabulate them uniformly.
+"""
+
+from repro.baselines.base import BaselineResult, SimilaritySearchBaseline
+from repro.baselines.brute import BruteForceBaseline
+from repro.baselines.rtree import RTree, RTreeEntry
+from repro.baselines.just_xz2 import JustXZ2Baseline
+from repro.baselines.dft import DFTBaseline
+from repro.baselines.dita import DITABaseline
+from repro.baselines.repose import REPOSEBaseline
+
+__all__ = [
+    "BaselineResult",
+    "SimilaritySearchBaseline",
+    "BruteForceBaseline",
+    "RTree",
+    "RTreeEntry",
+    "JustXZ2Baseline",
+    "DFTBaseline",
+    "DITABaseline",
+    "REPOSEBaseline",
+]

@@ -1,0 +1,113 @@
+"""Shared baseline interface and result type.
+
+Baselines report the same three numbers the paper plots for every
+system: wall time, candidate count (trajectories that reached the exact
+measure), and the answers themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.geometry.trajectory import Trajectory
+from repro.measures.base import Measure, get_measure
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline query."""
+
+    #: threshold search: tid -> distance; top-k: filled via ``ranked``
+    answers: Dict[str, float]
+    #: trajectories that reached the exact measure
+    candidates: int
+    #: rows/objects the index made the system look at before filtering
+    retrieved: int
+    total_seconds: float
+    #: top-k only: (distance, tid) ascending
+    ranked: List[Tuple[float, str]] = field(default_factory=list)
+
+
+class SimilaritySearchBaseline(abc.ABC):
+    """A system answering trajectory similarity queries."""
+
+    #: human-readable system name, e.g. ``"DFT"``
+    name: str = "baseline"
+    supports_threshold = True
+    supports_topk = True
+
+    def __init__(self, measure: str = "frechet"):
+        self.measure: Measure = get_measure(measure)
+
+    @abc.abstractmethod
+    def build(self, trajectories: Iterable[Trajectory]) -> None:
+        """Ingest the dataset (indexing phase, timed by Figure 13)."""
+
+    def threshold_search(self, query: Trajectory, eps: float) -> BaselineResult:
+        if not self.supports_threshold:
+            raise QueryError(f"{self.name} does not support threshold search")
+        raise NotImplementedError
+
+    def topk_search(self, query: Trajectory, k: int) -> BaselineResult:
+        if not self.supports_topk:
+            raise QueryError(f"{self.name} does not support top-k search")
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _verify(
+        self,
+        query: Trajectory,
+        eps: float,
+        candidates: Iterable[Trajectory],
+        retrieved: int,
+        started: float,
+    ) -> BaselineResult:
+        """Shared refinement step for threshold queries."""
+        answers: Dict[str, float] = {}
+        count = 0
+        for candidate in candidates:
+            count += 1
+            if self.measure.within(query.points, candidate.points, eps):
+                answers[candidate.tid] = self.measure.distance(
+                    query.points, candidate.points
+                )
+        return BaselineResult(
+            answers=answers,
+            candidates=count,
+            retrieved=retrieved,
+            total_seconds=time.perf_counter() - started,
+        )
+
+    def _rank(
+        self,
+        query: Trajectory,
+        k: int,
+        candidates: Iterable[Trajectory],
+        retrieved: int,
+        started: float,
+    ) -> BaselineResult:
+        """Shared exact top-k over a candidate set."""
+        import heapq
+
+        heap: List[Tuple[float, str]] = []  # max-heap via negation
+        count = 0
+        for candidate in candidates:
+            count += 1
+            dist = self.measure.distance(query.points, candidate.points)
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, candidate.tid))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, candidate.tid))
+        ranked = sorted((-neg, tid) for neg, tid in heap)
+        return BaselineResult(
+            answers={tid: dist for dist, tid in ranked},
+            candidates=count,
+            retrieved=retrieved,
+            total_seconds=time.perf_counter() - started,
+            ranked=ranked,
+        )

@@ -1,0 +1,35 @@
+"""Brute force: scan everything, measure everything.
+
+Ground truth for the correctness tests and the unindexed lower bound
+for the benches.  Still uses the early-abandoning measure for threshold
+queries, so it is brute force over *candidates*, not over arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List
+
+from repro.baselines.base import BaselineResult, SimilaritySearchBaseline
+from repro.geometry.trajectory import Trajectory
+
+
+class BruteForceBaseline(SimilaritySearchBaseline):
+    """No index: every trajectory is a candidate."""
+
+    name = "BruteForce"
+
+    def __init__(self, measure: str = "frechet"):
+        super().__init__(measure)
+        self._data: List[Trajectory] = []
+
+    def build(self, trajectories: Iterable[Trajectory]) -> None:
+        self._data = list(trajectories)
+
+    def threshold_search(self, query: Trajectory, eps: float) -> BaselineResult:
+        started = time.perf_counter()
+        return self._verify(query, eps, self._data, len(self._data), started)
+
+    def topk_search(self, query: Trajectory, k: int) -> BaselineResult:
+        started = time.perf_counter()
+        return self._rank(query, k, self._data, len(self._data), started)

@@ -1,0 +1,318 @@
+"""An R-tree: STR bulk loading plus dynamic quadratic-split inserts.
+
+DFT partitions trajectory segments with an R-tree; the paper's
+Figure 13 point about *dynamic* indexes ("DFT, DITA and REPOSE use
+dynamic index structures, which takes much time to adapt to the
+dataset") is exercised by this implementation's insert/split path.
+
+The tree stores arbitrary payloads under MBRs and supports rectangle
+intersection queries and best-first nearest-rectangle traversal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.geometry.mbr import MBR
+
+
+@dataclass
+class RTreeEntry:
+    """A leaf payload under its bounding rectangle."""
+
+    mbr: MBR
+    payload: Any
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "children", "mbr")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.entries: List[RTreeEntry] = []
+        self.children: List["_Node"] = []
+        self.mbr: Optional[MBR] = None
+
+    def recompute_mbr(self) -> None:
+        rects = (
+            [e.mbr for e in self.entries]
+            if self.leaf
+            else [c.mbr for c in self.children if c.mbr is not None]
+        )
+        self.mbr = MBR.union_all(rects) if rects else None
+
+    def __len__(self) -> int:
+        return len(self.entries) if self.leaf else len(self.children)
+
+
+def _enlargement(mbr: MBR, rect: MBR) -> float:
+    grown = mbr.union(rect)
+    return grown.area - mbr.area
+
+
+class RTree:
+    """A dynamic R-tree with an optional STR bulk-load constructor."""
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 4:
+            raise ReproError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self.root = _Node(leaf=True)
+        self.size = 0
+        #: structural-adjustment counter (node splits), the "dynamic
+        #: index maintenance" cost Figure 13(a) talks about
+        self.split_count = 0
+
+    # ------------------------------------------------------------------
+    # Bulk load (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, entries: Sequence[RTreeEntry], max_entries: int = 16
+    ) -> "RTree":
+        """Build with the STR algorithm (how DFT loads its partitions)."""
+        tree = cls(max_entries)
+        tree.size = len(entries)
+        if not entries:
+            return tree
+        leaves = tree._str_pack(list(entries))
+        level = leaves
+        while len(level) > 1:
+            level = tree._str_pack_nodes(level)
+        tree.root = level[0]
+        return tree
+
+    def _str_pack(self, entries: List[RTreeEntry]) -> List[_Node]:
+        cap = self.max_entries
+        entries.sort(key=lambda e: e.mbr.center.x)
+        slice_count = max(1, math.ceil(math.sqrt(math.ceil(len(entries) / cap))))
+        slice_size = slice_count * cap
+        leaves: List[_Node] = []
+        for i in range(0, len(entries), slice_size):
+            chunk = sorted(
+                entries[i : i + slice_size], key=lambda e: e.mbr.center.y
+            )
+            for j in range(0, len(chunk), cap):
+                node = _Node(leaf=True)
+                node.entries = chunk[j : j + cap]
+                node.recompute_mbr()
+                leaves.append(node)
+        return leaves
+
+    def _str_pack_nodes(self, nodes: List[_Node]) -> List[_Node]:
+        cap = self.max_entries
+        nodes.sort(key=lambda n: n.mbr.center.x)  # type: ignore[union-attr]
+        slice_count = max(1, math.ceil(math.sqrt(math.ceil(len(nodes) / cap))))
+        slice_size = slice_count * cap
+        parents: List[_Node] = []
+        for i in range(0, len(nodes), slice_size):
+            chunk = sorted(
+                nodes[i : i + slice_size],
+                key=lambda n: n.mbr.center.y,  # type: ignore[union-attr]
+            )
+            for j in range(0, len(chunk), cap):
+                node = _Node(leaf=False)
+                node.children = chunk[j : j + cap]
+                node.recompute_mbr()
+                parents.append(node)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Dynamic insert
+    # ------------------------------------------------------------------
+    def insert(self, entry: RTreeEntry) -> None:
+        """Insert one entry, splitting nodes as needed."""
+        split = self._insert(self.root, entry)
+        if split is not None:
+            new_root = _Node(leaf=False)
+            new_root.children = [self.root, split]
+            new_root.recompute_mbr()
+            self.root = new_root
+        self.size += 1
+
+    def _insert(self, node: _Node, entry: RTreeEntry) -> Optional[_Node]:
+        if node.mbr is None:
+            node.mbr = entry.mbr
+        else:
+            node.mbr = node.mbr.union(entry.mbr)
+        if node.leaf:
+            node.entries.append(entry)
+            if len(node.entries) > self.max_entries:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_child(node, entry.mbr)
+        split = self._insert(child, entry)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.max_entries:
+                return self._split_inner(node)
+        return None
+
+    def _choose_child(self, node: _Node, rect: MBR) -> _Node:
+        best = None
+        best_key: Tuple[float, float] = (math.inf, math.inf)
+        for child in node.children:
+            assert child.mbr is not None
+            key = (_enlargement(child.mbr, rect), child.mbr.area)
+            if key < best_key:
+                best_key = key
+                best = child
+        assert best is not None
+        return best
+
+    def _quadratic_seeds(self, rects: List[MBR]) -> Tuple[int, int]:
+        worst = -math.inf
+        seeds = (0, 1)
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                waste = (
+                    rects[i].union(rects[j]).area
+                    - rects[i].area
+                    - rects[j].area
+                )
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        return seeds
+
+    def _split_leaf(self, node: _Node) -> _Node:
+        self.split_count += 1
+        entries = node.entries
+        rects = [e.mbr for e in entries]
+        i, j = self._quadratic_seeds(rects)
+        group_a, group_b = [entries[i]], [entries[j]]
+        mbr_a, mbr_b = entries[i].mbr, entries[j].mbr
+        for idx, entry in enumerate(entries):
+            if idx in (i, j):
+                continue
+            if len(group_a) + (len(entries) - idx) <= self.min_entries:
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.mbr)
+                continue
+            if len(group_b) + (len(entries) - idx) <= self.min_entries:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.mbr)
+                continue
+            if _enlargement(mbr_a, entry.mbr) <= _enlargement(mbr_b, entry.mbr):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.mbr)
+        node.entries = group_a
+        node.recompute_mbr()
+        sibling = _Node(leaf=True)
+        sibling.entries = group_b
+        sibling.recompute_mbr()
+        return sibling
+
+    def _split_inner(self, node: _Node) -> _Node:
+        self.split_count += 1
+        children = node.children
+        rects = [c.mbr for c in children]  # type: ignore[misc]
+        i, j = self._quadratic_seeds(rects)  # type: ignore[arg-type]
+        group_a, group_b = [children[i]], [children[j]]
+        mbr_a, mbr_b = children[i].mbr, children[j].mbr
+        assert mbr_a is not None and mbr_b is not None
+        for idx, child in enumerate(children):
+            if idx in (i, j):
+                continue
+            assert child.mbr is not None
+            if _enlargement(mbr_a, child.mbr) <= _enlargement(mbr_b, child.mbr):
+                group_a.append(child)
+                mbr_a = mbr_a.union(child.mbr)
+            else:
+                group_b.append(child)
+                mbr_b = mbr_b.union(child.mbr)
+        node.children = group_a
+        node.recompute_mbr()
+        sibling = _Node(leaf=False)
+        sibling.children = group_b
+        sibling.recompute_mbr()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, window: MBR) -> Iterator[RTreeEntry]:
+        """All entries whose MBR intersects ``window``."""
+        if self.root.mbr is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(window):
+                continue
+            if node.leaf:
+                for entry in node.entries:
+                    if entry.mbr.intersects(window):
+                        yield entry
+            else:
+                stack.extend(node.children)
+
+    def nearest(self, x: float, y: float, limit: int) -> List[RTreeEntry]:
+        """Best-first nearest entries to a point, up to ``limit``."""
+        if self.root.mbr is None or limit < 1:
+            return []
+        heap: List[Tuple[float, int, object]] = []
+        tick = 0
+        heapq.heappush(heap, (self.root.mbr.distance_to_point(x, y), tick, self.root))
+        out: List[RTreeEntry] = []
+        while heap and len(out) < limit:
+            _, _, item = heapq.heappop(heap)
+            if isinstance(item, RTreeEntry):
+                out.append(item)
+                continue
+            node = item
+            if node.leaf:  # type: ignore[union-attr]
+                for entry in node.entries:  # type: ignore[union-attr]
+                    tick += 1
+                    heapq.heappush(
+                        heap, (entry.mbr.distance_to_point(x, y), tick, entry)
+                    )
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    if child.mbr is None:
+                        continue
+                    tick += 1
+                    heapq.heappush(
+                        heap, (child.mbr.distance_to_point(x, y), tick, child)
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    def height(self) -> int:
+        h = 1
+        node = self.root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Validate containment and fanout; raises on violation."""
+        def visit(node: _Node, is_root: bool) -> None:
+            if node.leaf:
+                for entry in node.entries:
+                    if node.mbr is not None and not node.mbr.contains(entry.mbr):
+                        raise ReproError("leaf MBR does not contain entry")
+            else:
+                if not node.children:
+                    raise ReproError("empty inner node")
+                for child in node.children:
+                    if child.mbr is not None and node.mbr is not None:
+                        if not node.mbr.contains(child.mbr):
+                            raise ReproError("inner MBR does not contain child")
+                    visit(child, False)
+            if not is_root and len(node) > self.max_entries:
+                raise ReproError("node fanout above maximum")
+
+        visit(self.root, True)

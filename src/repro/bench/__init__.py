@@ -1,0 +1,18 @@
+"""Benchmark support: query-set runners and table reporting.
+
+The benches under ``benchmarks/`` regenerate the paper's tables and
+figures; this package holds the shared machinery — run a query workload
+against a system, aggregate median / p99 / candidate counts, and print
+aligned rows that mirror the paper's plots.
+"""
+
+from repro.bench.harness import QueryStats, run_threshold_workload, run_topk_workload
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "QueryStats",
+    "run_threshold_workload",
+    "run_topk_workload",
+    "format_table",
+    "print_table",
+]

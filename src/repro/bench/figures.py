@@ -1,0 +1,102 @@
+"""ASCII chart rendering for bench output.
+
+The paper communicates through line charts; a terminal bench can get
+most of the way there with horizontal bar charts and per-series
+sparklines, which is what these helpers produce.  They are pure
+formatting — all numbers come from the harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    """A horizontal bar scaled to ``width`` characters."""
+    if max_value <= 0 or value <= 0:
+        return ""
+    filled = value / max_value * width
+    whole = int(filled)
+    frac = filled - whole
+    bar = "█" * whole
+    partial_index = int(frac * (len(_BLOCKS) - 1))
+    if partial_index > 0 and whole < width:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars, longest label aligned.
+
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a  2 ████
+    b  1 ██
+    """
+    if not items:
+        return title
+    label_width = max(len(label) for label, _ in items)
+    max_value = max(value for _, value in items)
+    value_strs = [f"{value:.4g}{unit}" for _, value in items]
+    value_width = max(len(s) for s in value_strs)
+    lines = [title] if title else []
+    for (label, value), value_str in zip(items, value_strs):
+        lines.append(
+            f"{label.ljust(label_width)}  {value_str.rjust(value_width)} "
+            f"{_bar(value, max_value, width)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend of ``values`` using block characters.
+
+    >>> sparkline([1, 2, 3])
+    '▁▄█'
+    """
+    cleaned = [v for v in values if not math.isnan(v)]
+    if not cleaned:
+        return ""
+    lo, hi = min(cleaned), max(cleaned)
+    span = hi - lo
+    out = []
+    for v in values:
+        if math.isnan(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_SPARKS[0])
+        else:
+            idx = int((v - lo) / span * (len(_SPARKS) - 1))
+            out.append(_SPARKS[idx])
+    return "".join(out)
+
+
+def series_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Multiple named series as aligned sparklines with endpoints.
+
+    Approximates a multi-line figure: each row shows the series name,
+    its sparkline over the shared x axis, and first/last values.
+    """
+    lines = [title] if title else []
+    lines.append(f"x: {' -> '.join(map(str, x_labels))}")
+    name_width = max((len(name) for name in series), default=0)
+    for name, values in series.items():
+        first = values[0] if values else float("nan")
+        last = values[-1] if values else float("nan")
+        lines.append(
+            f"{name.ljust(name_width)}  {sparkline(values)}  "
+            f"{first:.4g} -> {last:.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Workload runners with the paper's aggregation protocol.
+
+Section VI: run a set of query trajectories and report the *median*
+processing time; Figure 18 additionally reports the 99th percentile
+(tail latency).  The runners work against both the TraSS engine and any
+:class:`~repro.baselines.base.SimilaritySearchBaseline` by duck-typing
+on ``threshold_search`` / ``topk_search``.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.geometry.trajectory import Trajectory
+
+
+@dataclass
+class QueryStats:
+    """Aggregated outcome of one workload run."""
+
+    system: str
+    label: str
+    times: List[float] = field(default_factory=list)
+    candidates: List[int] = field(default_factory=list)
+    retrieved: List[int] = field(default_factory=list)
+    answers: List[int] = field(default_factory=list)
+
+    @property
+    def median_ms(self) -> float:
+        return 1000.0 * statistics.median(self.times) if self.times else math.nan
+
+    @property
+    def p99_ms(self) -> float:
+        if not self.times:
+            return math.nan
+        ordered = sorted(self.times)
+        rank = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
+        return 1000.0 * ordered[max(0, rank)]
+
+    @property
+    def mean_candidates(self) -> float:
+        return statistics.fmean(self.candidates) if self.candidates else math.nan
+
+    @property
+    def mean_retrieved(self) -> float:
+        return statistics.fmean(self.retrieved) if self.retrieved else math.nan
+
+    @property
+    def mean_answers(self) -> float:
+        return statistics.fmean(self.answers) if self.answers else math.nan
+
+    @property
+    def precision(self) -> float:
+        """Answers over candidates across the workload (Figure 11(c))."""
+        total_candidates = sum(self.candidates)
+        if total_candidates == 0:
+            return 1.0
+        return sum(self.answers) / total_candidates
+
+
+def run_threshold_workload(
+    system,
+    queries: Sequence[Trajectory],
+    eps: float,
+    system_name: str = "",
+    label: str = "",
+) -> QueryStats:
+    """Run every query through ``system.threshold_search``."""
+    stats = QueryStats(
+        system=system_name or type(system).__name__, label=label or f"eps={eps}"
+    )
+    for query in queries:
+        started = time.perf_counter()
+        result = system.threshold_search(query, eps)
+        stats.times.append(time.perf_counter() - started)
+        stats.candidates.append(result.candidates)
+        stats.retrieved.append(
+            getattr(result, "retrieved_rows", getattr(result, "retrieved", 0))
+        )
+        stats.answers.append(len(result.answers))
+    return stats
+
+
+def run_topk_workload(
+    system,
+    queries: Sequence[Trajectory],
+    k: int,
+    system_name: str = "",
+    label: str = "",
+) -> QueryStats:
+    """Run every query through ``system.topk_search``."""
+    stats = QueryStats(
+        system=system_name or type(system).__name__, label=label or f"k={k}"
+    )
+    for query in queries:
+        started = time.perf_counter()
+        result = system.topk_search(query, k)
+        stats.times.append(time.perf_counter() - started)
+        stats.candidates.append(result.candidates)
+        stats.retrieved.append(
+            getattr(result, "retrieved_rows", getattr(result, "retrieved", 0))
+        )
+        stats.answers.append(len(result.answers))
+    return stats

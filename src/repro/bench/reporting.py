@@ -1,0 +1,57 @@
+"""Aligned ASCII tables for bench output.
+
+Each bench prints the same rows/series the paper's figure reports, so a
+reader can compare shapes (who wins, by what factor, where crossovers
+sit) directly against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.001):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned table; numbers are right-aligned."""
+    rendered = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, rendered):
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(raw[i], (int, float)):
+                cells.append(cell.rjust(widths[i]))
+            else:
+                cells.append(cell.ljust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+    print()

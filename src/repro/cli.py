@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Build a persistent TraSS store from a trajectory CSV and query it::
+
+    python -m repro.cli build  --csv data.csv --store ./store \\
+        --bounds 115.8 39.4 117.2 40.6 --resolution 16 --shards 8
+    python -m repro.cli info   --store ./store
+    python -m repro.cli threshold --store ./store --query-tid taxi42 --eps 0.01
+    python -m repro.cli topk      --store ./store --query-tid taxi42 --k 10
+    python -m repro.cli range     --store ./store --window 116.0 39.6 116.5 40.0
+
+The CSV format is the one :mod:`repro.data.io` writes: a ``tid,x,y``
+header and one point per row, points of a trajectory consecutive.
+Queries take either ``--query-tid`` (a stored trajectory) or
+``--query-csv`` (a single-trajectory CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.config import TraSSConfig
+from repro.core.engine import TraSS
+from repro.data.io import load_csv
+from repro.exceptions import ReproError
+from repro.geometry.mbr import MBR
+from repro.geometry.trajectory import Trajectory
+from repro.index.bounds import SpaceBounds
+from repro.measures import available_measures
+
+
+def _build(args: argparse.Namespace) -> int:
+    trajectories = load_csv(args.csv)
+    if not trajectories:
+        print("no trajectories in the CSV", file=sys.stderr)
+        return 1
+    config = TraSSConfig(
+        bounds=SpaceBounds(*args.bounds),
+        max_resolution=args.resolution,
+        dp_tolerance=args.dp_tolerance,
+        shards=args.shards,
+        measure_name=args.measure,
+    )
+    started = time.perf_counter()
+    engine = TraSS.build(trajectories, config)
+    engine.save(args.store)
+    elapsed = time.perf_counter() - started
+    print(
+        f"indexed {len(engine)} trajectories into {args.store} "
+        f"in {elapsed:.2f}s ({engine.store.table.num_regions} region(s))"
+    )
+    return 0
+
+
+def _load_engine(args: argparse.Namespace) -> TraSS:
+    return TraSS.load(args.store)
+
+
+def _resolve_query(engine: TraSS, args: argparse.Namespace) -> Trajectory:
+    if args.query_csv:
+        trajectories = load_csv(args.query_csv)
+        if len(trajectories) != 1:
+            raise ReproError(
+                f"--query-csv must hold exactly one trajectory, "
+                f"found {len(trajectories)}"
+            )
+        return trajectories[0]
+    if not args.query_tid:
+        raise ReproError("provide --query-tid or --query-csv")
+    for record in engine.store.all_records():
+        if record.tid == args.query_tid:
+            return record.as_trajectory()
+    raise ReproError(f"trajectory {args.query_tid!r} not found in the store")
+
+
+def _info(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    stats = engine.stats()
+    print(f"store:            {args.store}")
+    print(f"trajectories:     {stats['trajectories']}")
+    print(f"regions:          {stats['regions']}")
+    print(f"distinct values:  {stats['distinct_index_values']}")
+    print(f"selectivity:      {stats['selectivity']:.4f}")
+    print(f"approx bytes:     {stats['approximate_bytes']}")
+    print(f"max resolution:   {engine.config.max_resolution}")
+    print(f"shards:           {engine.config.shards}")
+    print(f"measure:          {engine.config.measure_name}")
+    return 0
+
+
+def _threshold(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    query = _resolve_query(engine, args)
+    result = engine.threshold_search(query, args.eps, measure=args.measure)
+    for tid, dist in sorted(result.answers.items(), key=lambda kv: kv[1]):
+        print(f"{tid}\t{dist:.6f}")
+    print(
+        f"# {len(result.answers)} answers, {result.candidates} candidates, "
+        f"{result.retrieved_rows} rows scanned, "
+        f"{result.total_seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _topk(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    query = _resolve_query(engine, args)
+    result = engine.topk_search(query, args.k, measure=args.measure)
+    for dist, tid in result.answers:
+        print(f"{tid}\t{dist:.6f}")
+    print(
+        f"# {result.candidates} candidates, {result.retrieved_rows} rows "
+        f"scanned, {result.total_seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _range(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    window = MBR(*args.window)
+    for tid in engine.range_query(window):
+        print(tid)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="TraSS trajectory similarity search (ICDE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="index a trajectory CSV into a store")
+    build.add_argument("--csv", required=True, help="tid,x,y point CSV")
+    build.add_argument("--store", required=True, help="output directory")
+    build.add_argument(
+        "--bounds",
+        nargs=4,
+        type=float,
+        default=[-180.0, -90.0, 180.0, 90.0],
+        metavar=("MINX", "MINY", "MAXX", "MAXY"),
+        help="index space extent (default: whole earth)",
+    )
+    build.add_argument("--resolution", type=int, default=16)
+    build.add_argument("--dp-tolerance", type=float, default=0.01)
+    build.add_argument("--shards", type=int, default=8)
+    build.add_argument(
+        "--measure", default="frechet", choices=available_measures()
+    )
+    build.set_defaults(func=_build)
+
+    info = sub.add_parser("info", help="store statistics")
+    info.add_argument("--store", required=True)
+    info.set_defaults(func=_info)
+
+    def add_query_args(p):
+        p.add_argument("--store", required=True)
+        p.add_argument("--query-tid", help="query by stored trajectory id")
+        p.add_argument("--query-csv", help="query from a one-trajectory CSV")
+        p.add_argument(
+            "--measure", default=None, choices=available_measures()
+        )
+
+    threshold = sub.add_parser("threshold", help="threshold similarity search")
+    add_query_args(threshold)
+    threshold.add_argument("--eps", type=float, required=True)
+    threshold.set_defaults(func=_threshold)
+
+    topk = sub.add_parser("topk", help="top-k similarity search")
+    add_query_args(topk)
+    topk.add_argument("--k", type=int, required=True)
+    topk.set_defaults(func=_topk)
+
+    range_ = sub.add_parser("range", help="spatial range query")
+    range_.add_argument("--store", required=True)
+    range_.add_argument(
+        "--window",
+        nargs=4,
+        type=float,
+        required=True,
+        metavar=("MINX", "MINY", "MAXX", "MAXY"),
+    )
+    range_.set_defaults(func=_range)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""TraSS core: storage schema, pruning, and the two similarity searches.
+
+The flow mirrors Figure 8 of the paper: trajectories are indexed with
+XZ* and written to the key-value table together with their DP features
+(:mod:`storage`); a query runs global pruning (:mod:`pruning`,
+Algorithm 1) to plan key-range scans, pushes local filtering
+(:mod:`local_filter`, Algorithm 2) into the scan, and finally refines
+the survivors with the exact measure (:mod:`threshold`, Algorithm 3 and
+:mod:`topk`, Algorithm 4).  :class:`repro.core.engine.TraSS` is the
+public facade.
+"""
+
+from repro.core.config import TraSSConfig
+from repro.core.storage import TrajectoryRecord, TrajectoryStore
+from repro.core.pruning import GlobalPruner, PruningResult
+from repro.core.local_filter import LocalFilter
+from repro.core.threshold import ThresholdSearchResult
+from repro.core.topk import TopKSearchResult
+from repro.core.engine import TraSS
+
+__all__ = [
+    "TraSSConfig",
+    "TrajectoryRecord",
+    "TrajectoryStore",
+    "GlobalPruner",
+    "PruningResult",
+    "LocalFilter",
+    "ThresholdSearchResult",
+    "TopKSearchResult",
+    "TraSS",
+]

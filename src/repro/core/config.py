@@ -1,0 +1,59 @@
+"""Engine configuration.
+
+Defaults follow the paper's evaluation setup (Section VI): the index
+space covers the earth, the maximum resolution is 16, the DP tolerance
+is 0.01, and the default measure is discrete Fréchet.  ``shards`` is
+the salt-bucket count of Section IV-E; the paper finds 8 agreeable on
+its five-node cluster (Figure 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import QueryError
+from repro.index.bounds import SpaceBounds
+from repro.measures.base import Measure, get_measure
+
+
+@dataclass
+class TraSSConfig:
+    """Tunable parameters of a TraSS instance."""
+
+    max_resolution: int = 16
+    bounds: SpaceBounds = field(default_factory=SpaceBounds.whole_earth)
+    shards: int = 8
+    dp_tolerance: float = 0.01
+    measure_name: str = "frechet"
+    #: DP-feature covering-box construction: "chord" (the paper's) or
+    #: "min_area" (rotating-calipers rectangles; tighter, costlier)
+    box_mode: str = "chord"
+    #: planner safety valve: past this many visited elements the global
+    #: pruner collapses the remaining frontier into subtree ranges
+    max_planned_elements: int = 8192
+    #: merge scan ranges separated by at most this many index values
+    range_merge_gap: int = 0
+    #: region auto-split threshold (rows)
+    max_region_rows: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.shards < 1 or self.shards > 256:
+            raise QueryError(f"shards must be in 1..256, got {self.shards}")
+        if self.dp_tolerance < 0:
+            raise QueryError(
+                f"dp_tolerance must be non-negative, got {self.dp_tolerance}"
+            )
+        if self.box_mode not in ("chord", "min_area"):
+            raise QueryError(
+                f"box_mode must be 'chord' or 'min_area', got {self.box_mode!r}"
+            )
+        if self.max_planned_elements < 16:
+            raise QueryError(
+                "max_planned_elements must be >= 16, got "
+                f"{self.max_planned_elements}"
+            )
+
+    def make_measure(self) -> Measure:
+        """Instantiate the configured similarity measure."""
+        return get_measure(self.measure_name)

@@ -1,0 +1,280 @@
+"""The TraSS facade — the library's main entry point.
+
+Typical use::
+
+    from repro import TraSS, Trajectory
+
+    engine = TraSS.build(trajectories)
+    result = engine.threshold_search(query, eps=0.01)
+    top = engine.topk_search(query, k=50)
+
+The engine owns a :class:`~repro.core.storage.TrajectoryStore` (the
+key-value table plus XZ* placement), a
+:class:`~repro.core.pruning.GlobalPruner`, and the configured measure.
+Per-call ``measure`` overrides support the Section VII experiments
+(Hausdorff, DTW) without rebuilding the store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import TraSSConfig
+from repro.core.pruning import GlobalPruner, PruningResult
+from repro.core.storage import INTEGER_KEYS, TrajectoryStore
+from repro.core.threshold import ThresholdSearchResult, threshold_search
+from repro.core.topk import TopKSearchResult, topk_search
+from repro.exceptions import QueryError
+from repro.geometry.mbr import MBR
+from repro.geometry.trajectory import Trajectory
+from repro.kvstore.metrics import IOMetrics
+from repro.measures.base import Measure, get_measure
+
+
+class TraSS:
+    """Trajectory similarity search over an embedded key-value store."""
+
+    def __init__(
+        self,
+        config: Optional[TraSSConfig] = None,
+        key_encoding: str = INTEGER_KEYS,
+    ):
+        self.config = config if config is not None else TraSSConfig()
+        self.store = TrajectoryStore(self.config, key_encoding)
+        self.pruner = GlobalPruner(
+            self.store.index, self.config.max_planned_elements
+        )
+        self.measure: Measure = self.config.make_measure()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        trajectories: Iterable[Trajectory],
+        config: Optional[TraSSConfig] = None,
+        key_encoding: str = INTEGER_KEYS,
+    ) -> "TraSS":
+        """Create an engine and ingest ``trajectories``."""
+        engine = cls(config, key_encoding)
+        engine.add_all(trajectories)
+        return engine
+
+    def add(self, trajectory: Trajectory) -> int:
+        """Index and store one trajectory; returns its index value."""
+        return self.store.put(trajectory)
+
+    def add_all(
+        self, trajectories: Iterable[Trajectory], sorted_ingest: bool = False
+    ) -> int:
+        """Bulk ingest; returns the number stored.
+
+        ``sorted_ingest`` key-sorts the batch first (LSM bulk-load
+        idiom); the result is identical, the write path cheaper.
+        """
+        return self.store.put_all(trajectories, sorted_ingest=sorted_ingest)
+
+    def __len__(self) -> int:
+        return self.store.trajectory_count
+
+    @property
+    def metrics(self) -> IOMetrics:
+        return self.store.metrics
+
+    def _resolve_measure(self, measure: Optional[str]) -> Measure:
+        if measure is None:
+            return self.measure
+        return get_measure(measure)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def threshold_search(
+        self,
+        query: Trajectory,
+        eps: float,
+        measure: Optional[str] = None,
+    ) -> ThresholdSearchResult:
+        """All trajectories with ``f(query, T) <= eps`` (Definition 3).
+
+        Measures lacking the Lemma 5 point lower bound (EDR, ERP) cannot
+        be index-pruned; they are answered by a verified full scan.
+        """
+        resolved = self._resolve_measure(measure)
+        if not resolved.supports_point_lower_bound:
+            return self._full_scan_threshold(query, eps, resolved)
+        return threshold_search(self.store, self.pruner, resolved, query, eps)
+
+    def topk_search(
+        self,
+        query: Trajectory,
+        k: int,
+        measure: Optional[str] = None,
+    ) -> TopKSearchResult:
+        """The ``k`` most similar trajectories (Definition 4).
+
+        Measures lacking the Lemma 5 lower bound fall back to a ranked
+        full scan (the index's geometric bounds do not bound them).
+        """
+        resolved = self._resolve_measure(measure)
+        if not resolved.supports_point_lower_bound:
+            return self._full_scan_topk(query, k, resolved)
+        return topk_search(self.store, self.pruner, resolved, query, k)
+
+    # ------------------------------------------------------------------
+    # Fallbacks for non-prunable measures (Section IX future work)
+    # ------------------------------------------------------------------
+    def _full_scan_threshold(
+        self, query: Trajectory, eps: float, measure: Measure
+    ) -> ThresholdSearchResult:
+        import time
+
+        from repro.core.pruning import PruningResult
+
+        if eps < 0:
+            raise QueryError(f"threshold must be non-negative, got {eps}")
+        started = time.perf_counter()
+        before = self.metrics.snapshot()
+        answers = {}
+        candidates = 0
+        for record in self.store.all_records():
+            candidates += 1
+            if measure.within(query.points, record.points, eps):
+                answers[record.tid] = measure.distance(
+                    query.points, record.points
+                )
+        retrieved = self.metrics.diff(before)["rows_scanned"]
+        elapsed = time.perf_counter() - started
+        empty_plan = PruningResult(
+            values=[],
+            ranges=[],
+            min_resolution=0,
+            max_resolution=self.config.max_resolution,
+        )
+        return ThresholdSearchResult(
+            answers=answers,
+            candidates=candidates,
+            retrieved_rows=retrieved,
+            pruning=empty_plan,
+            pruning_seconds=0.0,
+            scan_seconds=elapsed,
+            refine_seconds=0.0,
+        )
+
+    def _full_scan_topk(
+        self, query: Trajectory, k: int, measure: Measure
+    ) -> TopKSearchResult:
+        import heapq
+        import time
+
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+        before = self.metrics.snapshot()
+        heap: List[tuple] = []
+        candidates = 0
+        for record in self.store.all_records():
+            candidates += 1
+            dist = measure.distance(query.points, record.points)
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, record.tid))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, record.tid))
+        retrieved = self.metrics.diff(before)["rows_scanned"]
+        return TopKSearchResult(
+            answers=sorted((-neg, tid) for neg, tid in heap),
+            candidates=candidates,
+            retrieved_rows=retrieved,
+            units_scanned=1,
+            elements_expanded=0,
+            total_seconds=time.perf_counter() - started,
+        )
+
+    def plan(self, query: Trajectory, eps: float) -> PruningResult:
+        """Global pruning only — expose the scan plan for inspection."""
+        return self.pruner.prune(query, eps)
+
+    def explain(self, query: Trajectory, eps: float) -> str:
+        """A human-readable description of the query plan.
+
+        Shows the resolution band, pruning tallies, the resulting key
+        ranges, and how many stored rows fall inside them — the numbers
+        a user needs to understand why a query is fast or slow.
+        """
+        plan = self.pruner.prune(query, eps)
+        element, code = self.store.index.place(query)
+        rows_covered = sum(
+            count
+            for value, count in self.store.value_histogram.items()
+            if any(r.contains(value) for r in plan.ranges)
+        )
+        lines = [
+            f"threshold search: eps={eps}, measure={self.measure.name}",
+            f"query MBR: ({query.mbr.min_x:.6g}, {query.mbr.min_y:.6g}) .. "
+            f"({query.mbr.max_x:.6g}, {query.mbr.max_y:.6g})",
+            f"query index space: element '{element.sequence_str}' "
+            f"(level {element.level}), position code {code}",
+            f"resolution band: [{plan.min_resolution}, {plan.max_resolution}]",
+            f"elements visited: {plan.elements_visited} "
+            f"(distance-pruned: {plan.elements_pruned_distance}, "
+            f"collapsed subtrees: {plan.collapsed_subtrees}"
+            f"{', TRUNCATED' if plan.truncated else ''})",
+            f"position codes pruned: {plan.codes_pruned_far_quad} far-quad, "
+            f"{plan.codes_pruned_min_dist} minDistIS",
+            f"scan plan: {len(plan.ranges)} key range(s) covering "
+            f"{plan.num_index_spaces} index spaces x {self.config.shards} "
+            f"shard(s)",
+            f"rows inside the plan: {rows_covered} of "
+            f"{self.store.trajectory_count}",
+        ]
+        return "\n".join(lines)
+
+    def range_query(self, window: MBR) -> List[str]:
+        """Trajectory ids with at least one point inside ``window``.
+
+        The spatial range query the paper's conclusion notes XZ*
+        supports: index-space candidate generation plus an exact
+        point-in-window check per retrieved row.
+        """
+        ranges = self.store.index.range_query_ranges(window)
+        tids: List[str] = []
+        for key, value in self.store.table.scan_ranges(
+            self.store.scan_ranges_for(ranges)
+        ):
+            record = self.store.decode_record(key, value)
+            if any(window.contains_point(x, y) for x, y in record.points):
+                tids.append(record.tid)
+        return sorted(set(tids))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Snapshot the engine's store into ``directory``."""
+        self.store.save(directory)
+
+    @classmethod
+    def load(cls, directory: str) -> "TraSS":
+        """Restore an engine from a :meth:`save` snapshot."""
+        store = TrajectoryStore.load(directory)
+        engine = cls.__new__(cls)
+        engine.config = store.config
+        engine.store = store
+        engine.pruner = GlobalPruner(
+            store.index, store.config.max_planned_elements
+        )
+        engine.measure = store.config.make_measure()
+        return engine
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """A bundle of store-level statistics (used by the benches)."""
+        return {
+            "trajectories": self.store.trajectory_count,
+            "regions": self.store.table.num_regions,
+            "distinct_index_values": len(self.store.value_histogram),
+            "selectivity": (
+                self.store.selectivity() if len(self) else float("nan")
+            ),
+            "approximate_bytes": self.store.table.approximate_size,
+            "io": self.metrics.snapshot(),
+        }

@@ -1,0 +1,176 @@
+"""Local filtering (Section V-D, Algorithm 2).
+
+Runs per retrieved trajectory, inside the scan ("pushed down into the
+coprocessor", Figure 8), ordered cheap-to-expensive exactly as the
+paper prescribes ("we execute Lemmas from simple to complex"):
+
+1. MBR gap — if the two MBRs are more than ``eps`` apart no point of
+   ``T`` can be within ``eps`` of any point of ``Q`` (Lemma 5);
+2. start/end points (Lemma 12) — Fréchet and DTW must match first with
+   first and last with last; *skipped for Hausdorff*;
+3. representative points against the other side's box union, both
+   directions (Lemma 13);
+4. box edges against the other side's box union, both directions
+   (Lemma 14).
+
+The threshold is mutable so the top-k search can tighten it as results
+accumulate (Algorithm 4 line 17).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.codec import decode_row
+from repro.core.storage import TrajectoryRecord
+from repro.exceptions import QueryError
+from repro.features.dp_features import DPFeatures, extract_dp_features
+from repro.geometry.mbr import MBR
+from repro.geometry.trajectory import Trajectory
+from repro.kvstore.filters import RowFilter
+from repro.measures.base import Measure
+
+
+@dataclass
+class LocalFilterStats:
+    """Per-query tallies of which lemma removed how much."""
+
+    evaluated: int = 0
+    rejected_mbr: int = 0
+    rejected_start_end: int = 0
+    rejected_rep_points: int = 0
+    rejected_boxes: int = 0
+    passed: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.rejected_mbr
+            + self.rejected_start_end
+            + self.rejected_rep_points
+            + self.rejected_boxes
+        )
+
+
+class LocalFilter:
+    """The Algorithm 2 predicate for one query."""
+
+    #: every filtering stage, in execution order
+    ALL_STAGES = frozenset({"mbr", "start_end", "rep_points", "boxes"})
+    #: Lemma 14 cost cap: beyond this many edge/box pairs the stage is
+    #: skipped in favour of the exact (early-abandoning) measure
+    MAX_BOX_PAIRS = 2500
+
+    def __init__(
+        self,
+        query: Trajectory,
+        measure: Measure,
+        eps: float,
+        dp_tolerance: float,
+        stages: Optional[frozenset] = None,
+        box_mode: str = "chord",
+    ):
+        if eps < 0:
+            raise QueryError(f"threshold must be non-negative, got {eps}")
+        if stages is not None and not set(stages) <= self.ALL_STAGES:
+            raise QueryError(
+                f"unknown filter stages {set(stages) - self.ALL_STAGES}"
+            )
+        self.query = query
+        self.measure = measure
+        self.eps = eps
+        self.features = extract_dp_features(
+            query.points, dp_tolerance, box_mode=box_mode
+        )
+        self.stats = LocalFilterStats()
+        #: ablation switch: which lemma stages run (default: all)
+        self.stages = self.ALL_STAGES if stages is None else frozenset(stages)
+
+    # ------------------------------------------------------------------
+    def set_threshold(self, eps: float) -> None:
+        """Tighten (or set) the working threshold; used by top-k."""
+        self.eps = eps
+
+    # ------------------------------------------------------------------
+    def passes(self, record: TrajectoryRecord) -> bool:
+        """True when the record survives every lemma at the current
+        threshold and must go on to exact refinement."""
+        self.stats.evaluated += 1
+        eps = self.eps
+        if eps == math.inf:
+            self.stats.passed += 1
+            return True
+        query = self.query
+        features = record.features
+
+        # Step 0 — MBR gap (Lemma 5 applied to the bounding boxes).
+        if "mbr" in self.stages and query.mbr.distance_to_rect(features.mbr) > eps:
+            self.stats.rejected_mbr += 1
+            return False
+
+        # Step 1 — Lemma 12, start and end points (order-aware measures).
+        if "start_end" in self.stages and self.measure.supports_start_end_filter:
+            q_start, q_end = query.points[0], query.points[-1]
+            t_start, t_end = record.points[0], record.points[-1]
+            if math.hypot(q_start[0] - t_start[0], q_start[1] - t_start[1]) > eps:
+                self.stats.rejected_start_end += 1
+                return False
+            if math.hypot(q_end[0] - t_end[0], q_end[1] - t_end[1]) > eps:
+                self.stats.rejected_start_end += 1
+                return False
+
+        # Step 2 — Lemma 13 in both directions: a representative point
+        # is a raw point, so its distance to the other side's box union
+        # lower-bounds the similarity distance.
+        q_features = self.features
+        if "rep_points" in self.stages:
+            for px, py in features.rep_points:
+                if q_features.point_exceeds_boxes(px, py, eps):
+                    self.stats.rejected_rep_points += 1
+                    return False
+            for px, py in q_features.rep_points:
+                if features.point_exceeds_boxes(px, py, eps):
+                    self.stats.rejected_rep_points += 1
+                    return False
+
+        # Step 3 — Lemma 14 in both directions: every box edge carries a
+        # raw point of its side.  The stage is quadratic in box counts,
+        # so it is skipped for feature pairs where its cost would rival
+        # the exact measure it exists to avoid (sound: skipping a filter
+        # only admits more candidates).
+        if (
+            "boxes" in self.stages
+            and len(features.boxes) * len(q_features.boxes)
+            <= self.MAX_BOX_PAIRS
+        ):
+            if features.exceeds_box_bound(q_features, eps):
+                self.stats.rejected_boxes += 1
+                return False
+            if q_features.exceeds_box_bound(features, eps):
+                self.stats.rejected_boxes += 1
+                return False
+
+        self.stats.passed += 1
+        return True
+
+
+class LocalFilterRowFilter(RowFilter):
+    """Server-side adapter: decode the row, apply :class:`LocalFilter`.
+
+    Accepted records are cached by row key so the client does not pay
+    for a second decode of rows it is about to refine.
+    """
+
+    def __init__(self, local_filter: LocalFilter):
+        self.local_filter = local_filter
+        self.accepted: Dict[bytes, TrajectoryRecord] = {}
+
+    def accept(self, key: bytes, value: bytes) -> bool:
+        tid, points, features = decode_row(value)
+        record = TrajectoryRecord(tid, tuple(points), features, -1)
+        if self.local_filter.passes(record):
+            self.accepted[bytes(key)] = record
+            return True
+        return False

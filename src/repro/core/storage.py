@@ -1,0 +1,322 @@
+"""Trajectory storage (Section IV-E, Table I).
+
+``TrajectoryStore`` owns the key-value table and the write path:
+index with XZ*, extract DP features once at ingest ("we can calculate
+the DP features of a trajectory before storing, so we do not need to
+calculate DP features of extracted trajectories again", Section V-D),
+salt the row key, and put.  It also turns index-value ranges into
+per-shard row-key scan ranges for the read path.
+
+``key_encoding`` selects between the paper's integer encoding and the
+TraSS-S string encoding (the Figure 13(c) comparison); both are fully
+functional engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.codec import decode_row, encode_row
+from repro.core.config import TraSSConfig
+from repro.exceptions import KVStoreError, QueryError
+from repro.features.dp_features import DPFeatures, extract_dp_features
+from repro.geometry.trajectory import Trajectory
+from repro.index.ranges import IndexRange
+from repro.index.xzstar import XZStarIndex
+from repro.kvstore.metrics import IOMetrics
+from repro.kvstore.rowkey import (
+    encode_rowkey,
+    encode_string_rowkey,
+    rowkey_range,
+    shard_of,
+)
+from repro.kvstore.table import KVTable, ScanRange
+
+INTEGER_KEYS = "integer"
+STRING_KEYS = "string"
+
+
+@dataclass(frozen=True)
+class TrajectoryRecord:
+    """A decoded stored row."""
+
+    tid: str
+    points: Tuple[Tuple[float, float], ...]
+    features: DPFeatures
+    index_value: int
+
+    def as_trajectory(self) -> Trajectory:
+        return Trajectory(self.tid, self.points)
+
+
+class TrajectoryStore:
+    """The trajectory table plus its XZ* placement logic."""
+
+    def __init__(
+        self,
+        config: Optional[TraSSConfig] = None,
+        key_encoding: str = INTEGER_KEYS,
+    ):
+        if key_encoding not in (INTEGER_KEYS, STRING_KEYS):
+            raise QueryError(
+                f"key_encoding must be {INTEGER_KEYS!r} or {STRING_KEYS!r}, "
+                f"got {key_encoding!r}"
+            )
+        self.config = config if config is not None else TraSSConfig()
+        self.key_encoding = key_encoding
+        self.index = XZStarIndex(self.config.max_resolution, self.config.bounds)
+        self.table = KVTable(
+            name="trajectory",
+            max_region_rows=self.config.max_region_rows,
+        )
+        self.trajectory_count = 0
+        #: index value -> number of stored trajectories (distribution stats)
+        self.value_histogram: Dict[int, int] = {}
+
+    @property
+    def metrics(self) -> IOMetrics:
+        return self.table.metrics
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _rowkey(self, shard: int, value: int, tid: str) -> bytes:
+        if self.key_encoding == INTEGER_KEYS:
+            return encode_rowkey(shard, value, tid)
+        element, code = self.index.decode(value)
+        return encode_string_rowkey(shard, element.sequence_str, code, tid)
+
+    def _prepare(self, trajectory: Trajectory) -> Tuple[bytes, bytes, int]:
+        """Row key, row blob and index value for one trajectory."""
+        placed = self.index.index(trajectory)
+        features = extract_dp_features(
+            trajectory.points,
+            self.config.dp_tolerance,
+            box_mode=self.config.box_mode,
+        )
+        shard = shard_of(trajectory.tid, self.config.shards)
+        key = self._rowkey(shard, placed.value, trajectory.tid)
+        blob = encode_row(trajectory.tid, trajectory.points, features)
+        return key, blob, placed.value
+
+    def _record_put(self, value: int) -> None:
+        self.trajectory_count += 1
+        self.value_histogram[value] = self.value_histogram.get(value, 0) + 1
+
+    def put(self, trajectory: Trajectory) -> int:
+        """Index, featurise and store one trajectory; returns its value."""
+        key, blob, value = self._prepare(trajectory)
+        self.table.put(key, blob)
+        self._record_put(value)
+        return value
+
+    def put_all(
+        self, trajectories: Iterable[Trajectory], sorted_ingest: bool = False
+    ) -> int:
+        """Bulk ingest; returns the number stored.
+
+        With ``sorted_ingest`` the batch is key-sorted before writing,
+        turning memtable inserts into appends — the bulk-load idiom for
+        LSM stores (HBase bulkload / HFile generation does the same).
+        """
+        if not sorted_ingest:
+            count = 0
+            for trajectory in trajectories:
+                self.put(trajectory)
+                count += 1
+            return count
+        prepared = [self._prepare(t) for t in trajectories]
+        prepared.sort(key=lambda item: item[0])
+        for key, blob, value in prepared:
+            self.table.put(key, blob)
+            self._record_put(value)
+        return len(prepared)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def scan_ranges_for(
+        self, ranges: Sequence[IndexRange]
+    ) -> List[ScanRange]:
+        """Per-shard row-key scan ranges for a set of index-value ranges.
+
+        Every shard must be visited because the salt byte leads the key
+        (Section IV-E) — the cost the paper's Figure 19 sweep studies.
+        """
+        if self.key_encoding != INTEGER_KEYS:
+            return self._string_scan_ranges_for(ranges)
+        out: List[ScanRange] = []
+        for shard in range(self.config.shards):
+            for index_range in ranges:
+                start, stop = rowkey_range(
+                    shard, index_range.start, index_range.stop
+                )
+                out.append(ScanRange(start, stop))
+        return out
+
+    def _string_prefix(self, shard: int, value: int) -> bytes:
+        element, code = self.index.decode(value)
+        return bytes([shard]) + f"{element.sequence_str}#{code:02d}#".encode(
+            "utf-8"
+        )
+
+    def _string_scan_ranges_for(
+        self, ranges: Sequence[IndexRange]
+    ) -> List[ScanRange]:
+        """Scan ranges under the TraSS-S string encoding.
+
+        Because ``'#'`` sorts below every digit, depth-first string keys
+        are order-isomorphic to the integer values for all non-root
+        elements, so a contiguous value range still maps to one key
+        range.  Root-element values sort differently (their sequence is
+        empty) and are emitted as individual prefix scans.
+        """
+        root_start = self.index.root_block_start
+        out: List[ScanRange] = []
+        for shard in range(self.config.shards):
+            for index_range in ranges:
+                lo, hi = index_range.start, index_range.stop
+                for value in range(max(lo, root_start), hi):
+                    prefix = self._string_prefix(shard, value)
+                    out.append(ScanRange(prefix, prefix + b"\xff"))
+                hi = min(hi, root_start)
+                if lo < hi:
+                    start = self._string_prefix(shard, lo)
+                    stop = self._string_prefix(shard, hi - 1) + b"\xff"
+                    out.append(ScanRange(start, stop))
+        return out
+
+    def decode_record(self, key: bytes, value: bytes) -> TrajectoryRecord:
+        tid, points, features = decode_row(value)
+        if self.key_encoding == INTEGER_KEYS:
+            from repro.kvstore.rowkey import decode_rowkey
+
+            _, index_value, _ = decode_rowkey(key)
+        else:
+            from repro.kvstore.rowkey import decode_string_rowkey
+
+            _, sequence, code, _ = decode_string_rowkey(key)
+            from repro.index.quadrant import Element
+
+            element = Element.from_sequence_str(sequence) if sequence else None
+            if element is None:
+                from repro.index.quadrant import ROOT
+
+                element = ROOT
+            index_value = self.index.value(element, code)
+        return TrajectoryRecord(tid, tuple(points), features, index_value)
+
+    def all_records(self) -> Iterator[TrajectoryRecord]:
+        """Full-table scan (ground truth / verification paths)."""
+        for key, value in self.table.full_scan():
+            yield self.decode_record(key, value)
+
+    # ------------------------------------------------------------------
+    # Storage statistics (Figures 12 and 13)
+    # ------------------------------------------------------------------
+    def average_rowkey_bytes(self) -> float:
+        """Mean row-key length — the Figure 13(c) metric."""
+        total = 0
+        count = 0
+        for key, _ in self.table.full_scan():
+            total += len(key)
+            count += 1
+        if count == 0:
+            raise KVStoreError("no rows stored")
+        return total / count
+
+    def resolution_histogram(self) -> Dict[int, int]:
+        """Trajectory count per element resolution (Figure 12(a))."""
+        out: Dict[int, int] = {}
+        for value, count in self.value_histogram.items():
+            element, _ = self.index.decode(value)
+            out[element.level] = out.get(element.level, 0) + count
+        return out
+
+    def position_code_histogram(self) -> Dict[int, int]:
+        """Trajectory count per position code (Figure 12(b))."""
+        out: Dict[int, int] = {}
+        for value, count in self.value_histogram.items():
+            _, code = self.index.decode(value)
+            out[code] = out.get(code, 0) + count
+        return out
+
+    def selectivity(self) -> float:
+        """Distinct index values over row count (Figures 14-15)."""
+        if self.trajectory_count == 0:
+            raise KVStoreError("no rows stored")
+        return len(self.value_histogram) / self.trajectory_count
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Snapshot the store (config + table) into a directory."""
+        import json
+        import os
+
+        from repro.kvstore.persistence import save_table
+
+        save_table(self.table, directory)
+        meta = {
+            "key_encoding": self.key_encoding,
+            "config": {
+                "max_resolution": self.config.max_resolution,
+                "bounds": [
+                    self.config.bounds.min_x,
+                    self.config.bounds.min_y,
+                    self.config.bounds.max_x,
+                    self.config.bounds.max_y,
+                ],
+                "shards": self.config.shards,
+                "dp_tolerance": self.config.dp_tolerance,
+                "measure_name": self.config.measure_name,
+                "box_mode": self.config.box_mode,
+                "max_planned_elements": self.config.max_planned_elements,
+                "range_merge_gap": self.config.range_merge_gap,
+                "max_region_rows": self.config.max_region_rows,
+            },
+        }
+        with open(os.path.join(directory, "STORE.json"), "w") as fh:
+            json.dump(meta, fh, indent=2)
+
+    @classmethod
+    def load(cls, directory: str) -> "TrajectoryStore":
+        """Restore a store saved with :meth:`save`.
+
+        The value histogram and trajectory count are rebuilt from the
+        table, so statistics survive the round trip.
+        """
+        import json
+        import os
+
+        from repro.index.bounds import SpaceBounds
+        from repro.kvstore.persistence import load_table
+
+        try:
+            with open(os.path.join(directory, "STORE.json")) as fh:
+                meta = json.load(fh)
+        except FileNotFoundError:
+            raise KVStoreError(f"no store metadata in {directory}") from None
+        cfg_raw = meta["config"]
+        config = TraSSConfig(
+            max_resolution=cfg_raw["max_resolution"],
+            bounds=SpaceBounds(*cfg_raw["bounds"]),
+            shards=cfg_raw["shards"],
+            dp_tolerance=cfg_raw["dp_tolerance"],
+            measure_name=cfg_raw["measure_name"],
+            box_mode=cfg_raw.get("box_mode", "chord"),
+            max_planned_elements=cfg_raw["max_planned_elements"],
+            range_merge_gap=cfg_raw["range_merge_gap"],
+            max_region_rows=cfg_raw["max_region_rows"],
+        )
+        store = cls(config, meta["key_encoding"])
+        store.table = load_table(directory)
+        for key, value in store.table.full_scan():
+            record = store.decode_record(key, value)
+            store.trajectory_count += 1
+            store.value_histogram[record.index_value] = (
+                store.value_histogram.get(record.index_value, 0) + 1
+            )
+        return store

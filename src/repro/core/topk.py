@@ -1,0 +1,251 @@
+"""Top-k similarity search (Definition 4, Algorithm 4).
+
+Best-first traversal: a priority queue of enlarged elements ordered by
+``minDistEE`` feeds a priority queue of scan units ordered by
+``minDistIS``; units are materialised (scanned, locally filtered,
+refined) in nearest-first order.  Once ``k`` results exist their worst
+distance becomes the working threshold ``eps``, which retroactively
+prunes both queues — the loop ends when the nearest unexplored unit is
+already farther than ``eps`` (Algorithm 4 lines 11-12).
+
+Scan units come in two granularities:
+
+* a single index space ``(element, position code)`` with priority
+  ``minDistIS`` (Lemma 11) — used while refining the tree pays off;
+* a whole element subtree as one contiguous key range with priority
+  ``minDistEE`` (Lemma 9) — used once an element's cell is already
+  finer than the working threshold (further splitting cannot prune) or
+  the expansion budget is spent.  This is the same collapse the
+  encoding's depth-first layout exists to enable.
+
+Both priorities are sound lower bounds on the similarity distance of
+every trajectory stored below them and are monotone along the tree, so
+nearest-first order never misses a closer trajectory; rows a unit
+over-fetches are removed by local filtering and exact refinement, so
+the answer set is exact regardless of granularity choices.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.local_filter import LocalFilter, LocalFilterRowFilter
+from repro.core.pruning import GlobalPruner, min_points_rect_distance
+from repro.core.storage import TrajectoryStore
+from repro.exceptions import QueryError
+from repro.geometry.distance import (
+    min_dist_edges_to_rect,
+    min_dist_edges_to_rects,
+)
+from repro.geometry.trajectory import Trajectory
+from repro.index.position_code import CODE_QUADS, codes_for_element
+from repro.index.quadrant import ROOT, Element
+from repro.index.ranges import IndexRange
+from repro.measures.base import Measure
+
+
+@dataclass
+class TopKSearchResult:
+    """The k nearest trajectories plus search accounting."""
+
+    #: (distance, tid) sorted ascending
+    answers: List[Tuple[float, str]]
+    candidates: int
+    retrieved_rows: int
+    units_scanned: int
+    elements_expanded: int
+    total_seconds: float
+
+    @property
+    def worst_distance(self) -> float:
+        return self.answers[-1][0] if self.answers else math.inf
+
+
+def topk_search(
+    store: TrajectoryStore,
+    pruner: GlobalPruner,
+    measure: Measure,
+    query: Trajectory,
+    k: int,
+) -> TopKSearchResult:
+    """Run Algorithm 4 against a trajectory store."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    started = time.perf_counter()
+
+    index = store.index
+    bounds = index.bounds
+    world_scale = min(bounds.width, bounds.height)
+    query_mbr = query.mbr
+    query_points = query.points
+    qxs = np.fromiter((p[0] for p in query_points), dtype=float)
+    qys = np.fromiter((p[1] for p in query_points), dtype=float)
+    local = LocalFilter(
+        query,
+        measure,
+        math.inf,
+        store.config.dp_tolerance,
+        box_mode=store.config.box_mode,
+    )
+    budget = pruner.max_planned_elements
+    from repro.index.quadrant import smallest_enlarged_element
+
+    query_see_level = smallest_enlarged_element(
+        bounds.normalize_mbr(query_mbr), index.max_resolution
+    ).level
+
+    #: max-heap of (-distance, tid); worst answer on top
+    results: List[Tuple[float, str]] = []
+    seen_tids: Dict[str, float] = {}
+
+    def current_eps() -> float:
+        return -results[0][0] if len(results) >= k else math.inf
+
+    # Element queue (EQ) and scan-unit queue (IQ); the tiebreak counter
+    # keeps heap comparisons away from non-comparable payloads.
+    eq: List[Tuple[float, int, Element]] = []
+    iq: List[Tuple[float, int, IndexRange]] = []
+    tick = 0
+
+    def push_element(element: Element) -> float:
+        nonlocal tick
+        dist = min_dist_edges_to_rect(query_mbr, index.element_world_mbr(element))
+        heapq.heappush(eq, (dist, tick, element))
+        tick += 1
+        return dist
+
+    push_element(ROOT)
+    elements_expanded = 0
+    units_scanned = 0
+    candidates = 0
+    retrieved = 0
+
+    def push_subtree_unit(element: Element, dist: float) -> None:
+        """One contiguous range covering the element's whole subtree."""
+        nonlocal tick
+        if element.level == 0:
+            # The root's subtree is the entire main block plus its own
+            # tail-block codes.
+            heapq.heappush(
+                iq, (dist, tick, IndexRange(0, index.total_index_spaces))
+            )
+        else:
+            heapq.heappush(
+                iq, (dist, tick, IndexRange(*index.subtree_span(element)))
+            )
+        tick += 1
+
+    def expand_element(element: Element, element_dist: float) -> None:
+        """Emit the element's surviving index spaces and either descend
+        or collapse the subtree into a single scan unit."""
+        nonlocal tick, elements_expanded
+        elements_expanded += 1
+        threshold = current_eps()
+        emit_codes = True
+        max_level = index.max_resolution
+        if math.isfinite(threshold):
+            # Lemmas 6-7: elements outside the resolution band hold no
+            # answers — too-shallow ones still need descending, but
+            # their own codes are skipped; too-deep ones stop here.
+            min_r, max_r = pruner.resolution_band(query, threshold)
+            if element.level > max_r:
+                return
+            emit_codes = element.level >= min_r
+            max_level = min(max_level, max_r)
+
+        can_descend = element.level < max_level
+        cell_world = element.cell_width * world_scale
+        if math.isfinite(threshold):
+            # Splitting below the threshold's own scale cannot prune.
+            refine_pays = cell_world > threshold
+        else:
+            # No threshold yet: refine down to the query's own element
+            # size so nearby subtrees materialise quickly and seed eps.
+            refine_pays = element.level < query_see_level
+        if elements_expanded >= budget:
+            refine_pays = False
+        if can_descend and not refine_pays:
+            # Collapse: the subtree becomes one contiguous scan.
+            push_subtree_unit(element, element_dist)
+            return
+
+        if emit_codes:
+            quad_rects = index.quad_world_rects(element)
+            far_quads = {
+                quad
+                for quad, rect in quad_rects.items()
+                if min_points_rect_distance(qxs, qys, rect) > threshold
+            }
+            for code in codes_for_element(element, index.max_resolution):
+                quads = CODE_QUADS[code]
+                if quads & far_quads:
+                    continue
+                rects = [quad_rects[q] for q in quads]
+                dist = min_dist_edges_to_rects(query_mbr, rects)
+                if dist > threshold:
+                    continue
+                value = index.value(element, code)
+                heapq.heappush(iq, (dist, tick, IndexRange(value, value + 1)))
+                tick += 1
+        if can_descend:
+            for child in element.children():
+                push_element(child)
+
+    def materialise(unit: IndexRange) -> None:
+        """Scan one unit, filter locally, refine survivors.
+
+        Rows are refined as the scan streams them and each refinement
+        can tighten the working threshold, so later rows of the same
+        unit already face the shrunk ``eps`` — important when a unit is
+        a collapsed subtree holding many rows.
+        """
+        nonlocal candidates, retrieved, units_scanned
+        units_scanned += 1
+        local.set_threshold(current_eps())
+        row_filter = LocalFilterRowFilter(local)
+        before = store.metrics.snapshot()
+        for scan_range in store.scan_ranges_for([unit]):
+            for key, _ in store.table.scan(
+                scan_range.start, scan_range.stop, row_filter
+            ):
+                candidates += 1
+                record = row_filter.accepted.pop(key)
+                if record.tid in seen_tids:
+                    continue
+                dist = measure.distance(query_points, record.points)
+                seen_tids[record.tid] = dist
+                if len(results) < k:
+                    heapq.heappush(results, (-dist, record.tid))
+                elif dist < -results[0][0]:
+                    heapq.heapreplace(results, (-dist, record.tid))
+                local.set_threshold(current_eps())
+        retrieved += store.metrics.diff(before)["rows_scanned"]
+
+    while eq or iq:
+        eps = current_eps()
+        eq_top = eq[0][0] if eq else math.inf
+        iq_top = iq[0][0] if iq else math.inf
+        if min(eq_top, iq_top) > eps:
+            break  # nothing unexplored can beat the current k-th answer
+        if iq_top <= eq_top:
+            _, _, unit = heapq.heappop(iq)
+            materialise(unit)
+        else:
+            dist, _, element = heapq.heappop(eq)
+            expand_element(element, dist)
+
+    answers = sorted((-neg, tid) for neg, tid in results)
+    return TopKSearchResult(
+        answers=answers,
+        candidates=candidates,
+        retrieved_rows=retrieved,
+        units_scanned=units_scanned,
+        elements_expanded=elements_expanded,
+        total_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,55 @@
+"""Named dataset configurations for tests, examples and benches.
+
+Each dataset bundles the trajectories with the space bounds a TraSS
+instance should use for it.  Sizes default to bench-friendly values and
+scale up via the ``size`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.data.generators import (
+    LORRY_BOUNDS,
+    TDRIVE_BOUNDS,
+    lorry_like,
+    tdrive_like,
+)
+from repro.exceptions import ReproError
+from repro.geometry.trajectory import Trajectory
+from repro.index.bounds import SpaceBounds
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named trajectory collection plus its index bounds."""
+
+    name: str
+    bounds: SpaceBounds
+    trajectories: Tuple[Trajectory, ...]
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+
+_BUILDERS: Dict[str, Callable[[int, int], Tuple[SpaceBounds, List[Trajectory]]]] = {
+    "tdrive": lambda size, seed: (TDRIVE_BOUNDS, tdrive_like(size, seed)),
+    "lorry": lambda size, seed: (LORRY_BOUNDS, lorry_like(size, seed)),
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    return tuple(sorted(_BUILDERS))
+
+
+def load_dataset(name: str, size: int = 2000, seed: int = 0) -> Dataset:
+    """Build a named dataset deterministically."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    bounds, trajectories = builder(size, seed)
+    return Dataset(name, bounds, tuple(trajectories))

@@ -1,0 +1,58 @@
+"""Trajectory CSV round trip.
+
+Format: one point per line, ``tid,x,y``; points of a trajectory must be
+consecutive and in order (the layout both T-Drive and typical GPS log
+exports use after grouping).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, List
+
+from repro.exceptions import ReproError
+from repro.geometry.trajectory import Trajectory
+
+
+def save_csv(path: str, trajectories: Iterable[Trajectory]) -> int:
+    """Write trajectories; returns the number of point rows written."""
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["tid", "x", "y"])
+        for trajectory in trajectories:
+            for x, y in trajectory.points:
+                writer.writerow([trajectory.tid, repr(x), repr(y)])
+                rows += 1
+    return rows
+
+
+def load_csv(path: str) -> List[Trajectory]:
+    """Read trajectories written by :func:`save_csv`."""
+    out: List[Trajectory] = []
+    current_tid = None
+    current_points: List[tuple] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["tid", "x", "y"]:
+            raise ReproError(f"unexpected CSV header {header!r} in {path}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ReproError(f"malformed row at {path}:{lineno}: {row!r}")
+            tid, xs, ys = row
+            try:
+                point = (float(xs), float(ys))
+            except ValueError:
+                raise ReproError(
+                    f"non-numeric coordinates at {path}:{lineno}: {row!r}"
+                ) from None
+            if tid != current_tid:
+                if current_tid is not None:
+                    out.append(Trajectory(current_tid, current_points))
+                current_tid = tid
+                current_points = []
+            current_points.append(point)
+    if current_tid is not None:
+        out.append(Trajectory(current_tid, current_points))
+    return out

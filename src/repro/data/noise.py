@@ -1,0 +1,113 @@
+"""Trajectory corruption utilities.
+
+Real GPS data is noisy: jittered fixes, dropped points, outlier spikes,
+duplicated pings.  These helpers apply controlled corruption so tests
+and benches can check how the pipeline behaves on imperfect inputs —
+similarity search results should degrade *gracefully* (answers change
+because distances change) and never *incorrectly* (index and filters
+must stay exact for whatever points they are given).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.geometry.trajectory import Trajectory
+
+PointTuple = Tuple[float, float]
+
+
+def jitter(
+    trajectory: Trajectory,
+    sigma: float,
+    seed: int = 0,
+    tid: Optional[str] = None,
+) -> Trajectory:
+    """Gaussian positional noise on every point."""
+    if sigma < 0:
+        raise ReproError(f"sigma must be non-negative, got {sigma}")
+    rng = random.Random(seed)
+    return Trajectory(
+        tid if tid is not None else f"{trajectory.tid}_jit",
+        [
+            (x + rng.gauss(0.0, sigma), y + rng.gauss(0.0, sigma))
+            for x, y in trajectory.points
+        ],
+    )
+
+
+def downsample(
+    trajectory: Trajectory,
+    keep_fraction: float,
+    seed: int = 0,
+    tid: Optional[str] = None,
+) -> Trajectory:
+    """Randomly drop points, always keeping the endpoints."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ReproError(
+            f"keep fraction must be in (0, 1], got {keep_fraction}"
+        )
+    rng = random.Random(seed)
+    points = trajectory.points
+    kept: List[PointTuple] = [points[0]]
+    for point in points[1:-1]:
+        if rng.random() < keep_fraction:
+            kept.append(point)
+    if len(points) > 1:
+        kept.append(points[-1])
+    return Trajectory(
+        tid if tid is not None else f"{trajectory.tid}_ds", kept
+    )
+
+
+def add_outliers(
+    trajectory: Trajectory,
+    count: int,
+    magnitude: float,
+    seed: int = 0,
+    tid: Optional[str] = None,
+) -> Trajectory:
+    """Displace ``count`` random interior points by ``magnitude``.
+
+    Models multipath GPS spikes; ``count`` is clamped to the number of
+    interior points.
+    """
+    if count < 0:
+        raise ReproError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    points = list(trajectory.points)
+    interior = list(range(1, len(points) - 1))
+    rng.shuffle(interior)
+    for index in interior[: min(count, len(interior))]:
+        angle = rng.uniform(0.0, 6.283185307179586)
+        import math
+
+        points[index] = (
+            points[index][0] + magnitude * math.cos(angle),
+            points[index][1] + magnitude * math.sin(angle),
+        )
+    return Trajectory(
+        tid if tid is not None else f"{trajectory.tid}_out", points
+    )
+
+
+def duplicate_pings(
+    trajectory: Trajectory,
+    fraction: float,
+    seed: int = 0,
+    tid: Optional[str] = None,
+) -> Trajectory:
+    """Repeat a fraction of points in place (stuck-GPS artefact)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ReproError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    points: List[PointTuple] = []
+    for point in trajectory.points:
+        points.append(point)
+        if rng.random() < fraction:
+            points.append(point)
+    return Trajectory(
+        tid if tid is not None else f"{trajectory.tid}_dup", points
+    )

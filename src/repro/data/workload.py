@@ -1,0 +1,40 @@
+"""Query workload sampling.
+
+The paper's protocol: "we randomly pick 400 query trajectories from
+each dataset ... and take the median processing time as the final
+results" (Section VI).  ``sample_queries`` reproduces the sampling;
+the median/percentile aggregation lives in :mod:`repro.bench.harness`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.geometry.trajectory import Trajectory
+
+
+def sample_queries(
+    trajectories: Sequence[Trajectory],
+    count: int,
+    seed: int = 0,
+    min_points: int = 2,
+) -> List[Trajectory]:
+    """Pick ``count`` query trajectories uniformly at random.
+
+    Trajectories with fewer than ``min_points`` points are excluded so
+    degenerate queries (single pings) do not dominate the sample unless
+    explicitly requested.
+    """
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    eligible = [t for t in trajectories if len(t) >= min_points]
+    if not eligible:
+        raise ReproError(
+            f"no trajectories with >= {min_points} points to sample from"
+        )
+    rng = random.Random(seed)
+    if count >= len(eligible):
+        return list(eligible)
+    return rng.sample(eligible, count)

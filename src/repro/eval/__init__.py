@@ -1,0 +1,31 @@
+"""Declarative experiment runner.
+
+The ``benchmarks/`` directory regenerates the paper's figures through
+pytest; this package is the programmatic face of the same machinery:
+describe an experiment as data (:mod:`spec`), run it (:mod:`runner`),
+and get structured results you can serialise, diff across runs, or
+render (:mod:`report`).  It is how a downstream user scripts their own
+sweeps without copying bench code.
+"""
+
+from repro.eval.spec import (
+    DatasetSpec,
+    ExperimentSpec,
+    SweepAxis,
+    SystemSpec,
+)
+from repro.eval.runner import ExperimentResult, RunRecord, run_experiment
+from repro.eval.report import render_result, save_result, load_result
+
+__all__ = [
+    "DatasetSpec",
+    "ExperimentSpec",
+    "SweepAxis",
+    "SystemSpec",
+    "ExperimentResult",
+    "RunRecord",
+    "run_experiment",
+    "render_result",
+    "save_result",
+    "load_result",
+]

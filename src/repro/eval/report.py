@@ -1,0 +1,95 @@
+"""Result rendering and persistence.
+
+``render_result`` turns an :class:`ExperimentResult` into the same kind
+of aligned table plus sparkline trends the benches print;
+``save_result``/``load_result`` round-trip results through JSON so runs
+can be archived and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List
+
+from repro.bench.figures import series_chart
+from repro.bench.reporting import format_table
+from repro.eval.runner import ExperimentResult, RunRecord
+from repro.exceptions import ReproError
+
+FORMAT_VERSION = 1
+
+
+def render_result(result: ExperimentResult, metric: str = "median_ms") -> str:
+    """A table (systems x sweep values) plus a sparkline per system."""
+    legal = {f.name for f in RunRecord.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    if metric not in legal:
+        raise ReproError(f"unknown metric {metric!r}; one of {sorted(legal)}")
+    values = result.sweep_values()
+    parameter = result.records[0].parameter if result.records else "value"
+    headers = ["system"] + [f"{parameter}={v:g}" for v in values]
+    rows = []
+    series: Dict[str, List[float]] = {}
+    for system in result.systems():
+        records = {r.value: r for r in result.by_system(system)}
+        row = [system] + [
+            getattr(records[v], metric) if v in records else float("nan")
+            for v in values
+        ]
+        rows.append(row)
+        series[system] = [
+            getattr(records[v], metric) for v in values if v in records
+        ]
+    table = format_table(
+        headers,
+        rows,
+        f"{result.name}: {metric} ({result.dataset_name}, "
+        f"n={result.dataset_size}, {result.num_queries} queries)",
+    )
+    trends = series_chart([f"{v:g}" for v in values], series, "trend:")
+    builds = format_table(
+        ["system", "build (s)"],
+        [[name, secs] for name, secs in result.build_seconds.items()],
+        "ingestion:",
+    )
+    return f"{table}\n\n{trends}\n\n{builds}"
+
+
+def save_result(result: ExperimentResult, path: str) -> None:
+    """Serialise a result to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": result.name,
+        "query_type": result.query_type,
+        "dataset_name": result.dataset_name,
+        "dataset_size": result.dataset_size,
+        "num_queries": result.num_queries,
+        "build_seconds": result.build_seconds,
+        "records": [asdict(r) for r in result.records],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_result(path: str) -> ExperimentResult:
+    """Inverse of :func:`save_result`."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load result from {path}: {exc}") from exc
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format {payload.get('format_version')!r}"
+        )
+    result = ExperimentResult(
+        name=payload["name"],
+        query_type=payload["query_type"],
+        dataset_name=payload["dataset_name"],
+        dataset_size=payload["dataset_size"],
+        num_queries=payload["num_queries"],
+        build_seconds=dict(payload["build_seconds"]),
+    )
+    for raw in payload["records"]:
+        result.records.append(RunRecord(**raw))
+    return result

@@ -1,0 +1,128 @@
+"""Experiment execution.
+
+``run_experiment`` builds each system fresh, ingests the dataset
+(timed — the Figure 13 metric), samples the query workload, sweeps the
+axis, and aggregates per point with the paper's protocol (median time,
+p99, mean candidates).  Results are plain data (:class:`RunRecord`),
+ready for JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import run_threshold_workload, run_topk_workload
+from repro.data.datasets import load_dataset
+from repro.data.workload import sample_queries
+from repro.eval.spec import THRESHOLD, ExperimentSpec
+from repro.exceptions import ReproError
+
+
+@dataclass
+class RunRecord:
+    """One (system, sweep value) measurement."""
+
+    system: str
+    parameter: str
+    value: float
+    median_ms: float
+    p99_ms: float
+    mean_candidates: float
+    mean_retrieved: float
+    mean_answers: float
+    precision: float
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    name: str
+    query_type: str
+    dataset_name: str
+    dataset_size: int
+    num_queries: int
+    build_seconds: Dict[str, float] = field(default_factory=dict)
+    records: List[RunRecord] = field(default_factory=list)
+
+    def by_system(self, system: str) -> List[RunRecord]:
+        return [r for r in self.records if r.system == system]
+
+    def systems(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.system not in seen:
+                seen.append(record.system)
+        return seen
+
+    def sweep_values(self) -> List[float]:
+        seen: List[float] = []
+        for record in self.records:
+            if record.value not in seen:
+                seen.append(record.value)
+        return seen
+
+
+def run_experiment(
+    spec: ExperimentSpec, progress: Optional[callable] = None
+) -> ExperimentResult:
+    """Execute ``spec`` and return structured results.
+
+    ``progress`` (optional) receives one human-readable line per step —
+    pass ``print`` for live output.
+    """
+    note = progress if progress is not None else (lambda msg: None)
+    dataset = load_dataset(spec.dataset.name, spec.dataset.size, spec.dataset.seed)
+    queries = sample_queries(
+        dataset.trajectories,
+        spec.dataset.num_queries,
+        seed=spec.dataset.query_seed,
+    )
+    result = ExperimentResult(
+        name=spec.name,
+        query_type=spec.query_type,
+        dataset_name=spec.dataset.name,
+        dataset_size=len(dataset),
+        num_queries=len(queries),
+    )
+
+    for system_spec in spec.systems:
+        note(f"building {system_spec.label} on {len(dataset)} trajectories")
+        system = system_spec.factory()
+        started = time.perf_counter()
+        if hasattr(system, "add_all"):
+            system.add_all(dataset.trajectories)
+        elif hasattr(system, "build"):
+            system.build(dataset.trajectories)
+        else:
+            raise ReproError(
+                f"{system_spec.label}: no add_all/build ingestion method"
+            )
+        result.build_seconds[system_spec.label] = time.perf_counter() - started
+
+        for value in spec.sweep.values:
+            note(f"  {system_spec.label}: {spec.sweep.parameter}={value}")
+            if spec.query_type == THRESHOLD:
+                stats = run_threshold_workload(
+                    system, queries, float(value), system_spec.label
+                )
+            else:
+                stats = run_topk_workload(
+                    system, queries, int(value), system_spec.label
+                )
+            result.records.append(
+                RunRecord(
+                    system=system_spec.label,
+                    parameter=spec.sweep.parameter,
+                    value=float(value),
+                    median_ms=stats.median_ms,
+                    p99_ms=stats.p99_ms,
+                    mean_candidates=stats.mean_candidates,
+                    mean_retrieved=stats.mean_retrieved,
+                    mean_answers=stats.mean_answers,
+                    precision=stats.precision,
+                )
+            )
+    return result

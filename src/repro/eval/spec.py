@@ -1,0 +1,95 @@
+"""Experiment specifications.
+
+An :class:`ExperimentSpec` bundles a dataset, the systems to compare,
+the query type, and one sweep axis — the structure every figure in the
+paper shares (e.g. Figure 9: T-Drive x {TraSS, JUST, DFT, DITA} x
+threshold x eps-sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError, ReproError
+
+THRESHOLD = "threshold"
+TOPK = "topk"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named, seeded dataset configuration."""
+
+    name: str  # registry name, e.g. "tdrive" or "lorry"
+    size: int = 1000
+    seed: int = 0
+    num_queries: int = 10
+    query_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ReproError(f"dataset size must be >= 1, got {self.size}")
+        if self.num_queries < 1:
+            raise ReproError(
+                f"query count must be >= 1, got {self.num_queries}"
+            )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A system under test: a label plus a zero-argument factory.
+
+    The factory builds a *fresh, unloaded* system; the runner ingests
+    the dataset (timing it) and issues the queries.  Factories keep the
+    spec serialisable apart from the callable itself.
+    """
+
+    label: str
+    factory: Callable[[], object]
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ReproError("system label must be non-empty")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """The swept parameter: ``eps`` for threshold, ``k`` for top-k."""
+
+    parameter: str  # "eps" or "k"
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.parameter not in ("eps", "k"):
+            raise QueryError(
+                f"sweep parameter must be 'eps' or 'k', got {self.parameter!r}"
+            )
+        if not self.values:
+            raise QueryError("sweep must have at least one value")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One figure-shaped experiment."""
+
+    name: str
+    dataset: DatasetSpec
+    systems: Tuple[SystemSpec, ...]
+    query_type: str  # THRESHOLD or TOPK
+    sweep: SweepAxis
+
+    def __post_init__(self) -> None:
+        if self.query_type not in (THRESHOLD, TOPK):
+            raise QueryError(
+                f"query_type must be '{THRESHOLD}' or '{TOPK}', "
+                f"got {self.query_type!r}"
+            )
+        if not self.systems:
+            raise ReproError("an experiment needs at least one system")
+        expected = "eps" if self.query_type == THRESHOLD else "k"
+        if self.sweep.parameter != expected:
+            raise QueryError(
+                f"{self.query_type} experiments sweep {expected!r}, "
+                f"got {self.sweep.parameter!r}"
+            )

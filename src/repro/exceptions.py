@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro (TraSS) library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  Sub-hierarchies mirror the
+package layout: geometry, index, key-value store, and query processing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (empty trajectory, inverted MBR, ...)."""
+
+
+class IndexError_(ReproError):
+    """Invalid index parameter or encoding input.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``IndexError``; exported as ``IndexingError`` from the package root.
+    """
+
+
+class EncodingError(IndexError_):
+    """An index value or (sequence, position-code) pair is out of range."""
+
+
+class KVStoreError(ReproError):
+    """Base class for key-value store failures."""
+
+
+class TableNotFoundError(KVStoreError):
+    """Operation against a table that does not exist."""
+
+
+class TableExistsError(KVStoreError):
+    """Attempt to create a table that already exists."""
+
+
+class RegionError(KVStoreError):
+    """A key was routed to a region that does not own it."""
+
+
+class CorruptSSTableError(KVStoreError):
+    """An SSTable failed its integrity check when opened or read."""
+
+
+class QueryError(ReproError):
+    """Invalid query parameter (negative threshold, k < 1, ...)."""
+
+
+# Public alias with a friendlier name.
+IndexingError = IndexError_

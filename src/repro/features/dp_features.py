@@ -1,0 +1,205 @@
+"""DP features: representative points plus covering boxes (Section IV-D).
+
+``T.P`` is the Douglas-Peucker representative point list and ``T.B``
+the list of boxes covering the raw points between consecutive
+representative points, chords included.  Boxes are chord-aligned
+(:class:`repro.geometry.segment.OrientedBox` — "not necessarily
+parallel to the coordinate axis"), which keeps them tight around long
+diagonal runs.
+
+Soundness contract used by Lemmas 13-14: every raw point of ``T`` lies
+inside the union of ``T.B``, and every edge of each box carries at
+least one raw point of its run (the boxes are tight).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.features.douglas_peucker import douglas_peucker
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.geometry.segment import OrientedBox
+
+PointTuple = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class DPFeatures:
+    """Representative features of one trajectory.
+
+    ``rep_indexes`` are positions into the raw point array (the
+    ``dp-points`` column of Table I); ``boxes`` holds one covering box
+    per consecutive representative pair (the ``dp-mbrs`` column).
+    A single-point trajectory has one representative point and one
+    degenerate box.
+    """
+
+    rep_indexes: Tuple[int, ...]
+    rep_points: Tuple[PointTuple, ...]
+    boxes: Tuple[OrientedBox, ...]
+    mbr: MBR
+    #: axis-aligned envelope per box; cheap prefilter for the exact
+    #: rotated-frame tests (distance to an envelope lower-bounds the
+    #: distance to its box, so envelope-based rejections are sound)
+    envelopes: Tuple[MBR, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.envelopes) != len(self.boxes):
+            object.__setattr__(
+                self, "envelopes", tuple(box.mbr() for box in self.boxes)
+            )
+
+    @property
+    def num_rep_points(self) -> int:
+        return len(self.rep_points)
+
+    @property
+    def num_boxes(self) -> int:
+        return len(self.boxes)
+
+    # ------------------------------------------------------------------
+    def point_to_boxes_distance(self, x: float, y: float) -> float:
+        """``d(p, T.B)`` — distance from a point to the box union.
+
+        The minimum over boxes; this lower-bounds the distance from the
+        point to every raw point of the trajectory (Lemma 13's bound).
+        Envelope distances gate the exact rotated-frame test: a box
+        whose envelope is already farther than the best candidate can
+        never improve the minimum.
+        """
+        best = math.inf
+        for box, envelope in zip(self.boxes, self.envelopes):
+            if envelope.distance_to_point(x, y) >= best:
+                continue
+            d = box.distance_to_point(x, y)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    break
+        return best
+
+    def point_exceeds_boxes(self, x: float, y: float, eps: float) -> bool:
+        """True iff ``d((x, y), T.B) > eps`` — the Lemma 13 decision.
+
+        Cheaper than :meth:`point_to_boxes_distance` because any box
+        within ``eps`` ends the scan, and envelopes gate the exact test.
+        """
+        for box, envelope in zip(self.boxes, self.envelopes):
+            if envelope.distance_to_point(x, y) > eps:
+                continue
+            if box.distance_to_point(x, y) <= eps:
+                return False
+        return True
+
+    def segment_to_boxes_distance(self, a: Point, b: Point) -> float:
+        """Minimum distance from segment ``a-b`` to the box union."""
+        from repro.geometry.distance import segment_rect_distance
+
+        best = math.inf
+        for box, envelope in zip(self.boxes, self.envelopes):
+            if segment_rect_distance(a, b, envelope) >= best:
+                continue
+            d = box.distance_to_segment(a, b)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    break
+        return best
+
+    def _segment_exceeds_boxes(self, a: Point, b: Point, eps: float) -> bool:
+        """True iff ``d(segment, T.B) > eps`` with envelope gating."""
+        from repro.geometry.distance import segment_rect_distance
+
+        for box, envelope in zip(self.boxes, self.envelopes):
+            if segment_rect_distance(a, b, envelope) > eps:
+                continue
+            if box.distance_to_segment(a, b) <= eps:
+                return False
+        return True
+
+    def box_lower_bound_against(self, other: "DPFeatures") -> float:
+        """``max_{bbox in self.B} max_{edge in bbox} d(edge, other.B)``.
+
+        Lemma 14's bound: each edge of each of our boxes carries a raw
+        point, and that point is at least ``min_{p in edge} d(p,
+        other.B)`` from every raw point of ``other``; the maximum over
+        edges and boxes is therefore a sound lower bound on the
+        similarity distance.
+        """
+        worst = 0.0
+        for box in self.boxes:
+            for e0, e1 in box.edges():
+                d = other.segment_to_boxes_distance(e0, e1)
+                if d > worst:
+                    worst = d
+        return worst
+
+    def exceeds_box_bound(self, other: "DPFeatures", eps: float) -> bool:
+        """True as soon as Lemma 14 proves ``f(self, other) > eps``.
+
+        Edge/box pairs are screened by envelope distance first; the
+        exact rotated test only runs for pairs the envelopes cannot
+        decide, which keeps the stage cheap on disjoint candidates.
+        """
+        for box in self.boxes:
+            for e0, e1 in box.edges():
+                if other._segment_exceeds_boxes(e0, e1, eps):
+                    return True
+        return False
+
+
+#: chord-aligned covering boxes (the paper's construction)
+CHORD_BOXES = "chord"
+#: minimum-area oriented rectangles (rotating calipers; never looser)
+MIN_AREA_BOXES = "min_area"
+
+
+def extract_dp_features(
+    points: Sequence[PointTuple],
+    theta: float,
+    box_mode: str = CHORD_BOXES,
+) -> DPFeatures:
+    """Compute the DP features of a raw point sequence.
+
+    ``theta`` is the paper's "predefined distance" (default 0.01 in the
+    evaluation).  Boxes are built over the *inclusive* run between two
+    consecutive representative points so that the union of boxes covers
+    every raw point.
+
+    ``box_mode`` selects the covering box construction: the paper's
+    chord-aligned boxes (default), or minimum-area oriented rectangles.
+    Both are tight (every side touches a raw point), so Lemmas 13-14
+    stay sound; minimum-area boxes are at most as large.
+    """
+    if not points:
+        raise GeometryError("cannot extract DP features of zero points")
+    if box_mode == CHORD_BOXES:
+        cover = OrientedBox.cover
+    elif box_mode == MIN_AREA_BOXES:
+        from repro.geometry.hull import min_area_oriented_box
+
+        cover = min_area_oriented_box
+    else:
+        raise GeometryError(
+            f"box_mode must be {CHORD_BOXES!r} or {MIN_AREA_BOXES!r}, "
+            f"got {box_mode!r}"
+        )
+    rep_indexes = douglas_peucker(points, theta)
+    rep_points = tuple(points[i] for i in rep_indexes)
+    boxes: List[OrientedBox] = []
+    if len(rep_indexes) == 1:
+        boxes.append(cover([points[rep_indexes[0]]]))
+    else:
+        for k in range(len(rep_indexes) - 1):
+            lo, hi = rep_indexes[k], rep_indexes[k + 1]
+            boxes.append(cover(points[lo : hi + 1]))
+    return DPFeatures(
+        rep_indexes=tuple(rep_indexes),
+        rep_points=rep_points,
+        boxes=tuple(boxes),
+        mbr=MBR.of_points(points),
+    )

@@ -1,0 +1,116 @@
+"""Alternative polyline simplifiers.
+
+Douglas-Peucker (the paper's choice) is offline and O(n^2) worst case.
+Two standard streaming alternatives are provided for comparison and for
+ingest pipelines that cannot buffer whole trajectories:
+
+* **sliding window** — grow a window from an anchor; emit the previous
+  point when the chord error first exceeds ``theta``;
+* **opening window** (a.k.a. Before-Opening-Window) — like sliding
+  window but re-checks every buffered point against the current chord.
+
+Both guarantee the same error contract as DP — every dropped point is
+within ``theta`` of the chord covering it — so
+:func:`repro.features.dp_features.extract_dp_features` accepts their
+output interchangeably via the ``indexes`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.distance import point_segment_distance
+
+PointTuple = Tuple[float, float]
+
+
+def sliding_window(points: Sequence[PointTuple], theta: float) -> List[int]:
+    """Streaming simplification: emitted indexes, endpoints included.
+
+    Greedy: anchor at the last emitted point; extend the window while
+    every interior point stays within ``theta`` of the chord
+    anchor->candidate; on violation emit the previous candidate and
+    re-anchor there.
+    """
+    if theta < 0:
+        raise ValueError(f"tolerance must be non-negative, got {theta}")
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot simplify zero points")
+    if n <= 2:
+        return list(range(n))
+    kept = [0]
+    anchor = 0
+    candidate = 1
+    while candidate < n - 1:
+        nxt = candidate + 1
+        chord_ok = all(
+            point_segment_distance(points[i], points[anchor], points[nxt])
+            <= theta
+            for i in range(anchor + 1, nxt)
+        )
+        if chord_ok:
+            candidate = nxt
+        else:
+            kept.append(candidate)
+            anchor = candidate
+            candidate = anchor + 1
+    kept.append(n - 1)
+    return kept
+
+
+def opening_window(points: Sequence[PointTuple], theta: float) -> List[int]:
+    """Opening-window simplification: emitted indexes.
+
+    Equivalent loop structure to :func:`sliding_window` but on
+    violation it re-anchors at the *violating* point's predecessor and
+    keeps scanning, which tends to keep slightly fewer points on smooth
+    curves.
+    """
+    if theta < 0:
+        raise ValueError(f"tolerance must be non-negative, got {theta}")
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot simplify zero points")
+    if n <= 2:
+        return list(range(n))
+    kept = [0]
+    anchor = 0
+    window_end = anchor + 2
+    while window_end < n:
+        violated_at = -1
+        for i in range(anchor + 1, window_end):
+            if (
+                point_segment_distance(
+                    points[i], points[anchor], points[window_end]
+                )
+                > theta
+            ):
+                violated_at = i
+                break
+        if violated_at >= 0:
+            emit = window_end - 1
+            kept.append(emit)
+            anchor = emit
+            window_end = anchor + 2
+        else:
+            window_end += 1
+    kept.append(n - 1)
+    return sorted(set(kept))
+
+
+def max_chord_error(
+    points: Sequence[PointTuple], kept_indexes: Sequence[int]
+) -> float:
+    """Largest distance of any dropped point to its covering chord.
+
+    The error metric all three simplifiers are judged by; DP, sliding
+    window and opening window must all keep it at or below ``theta``.
+    """
+    worst = 0.0
+    for a, b in zip(kept_indexes, kept_indexes[1:]):
+        for i in range(a + 1, b):
+            d = point_segment_distance(points[i], points[a], points[b])
+            if d > worst:
+                worst = d
+    return worst

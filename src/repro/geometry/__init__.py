@@ -1,0 +1,37 @@
+"""Planar geometry primitives shared by the index, measures, and filters.
+
+The unit of work throughout the package is a :class:`Trajectory` — an
+ordered sequence of 2-D points — together with its minimum bounding
+rectangle (:class:`MBR`).  :mod:`repro.geometry.distance` collects the
+point/segment/rectangle distance kernels every pruning lemma relies on.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.mbr import MBR
+from repro.geometry.segment import Segment
+from repro.geometry.trajectory import Trajectory
+from repro.geometry.distance import (
+    point_distance,
+    point_segment_distance,
+    segment_distance,
+    point_rect_distance,
+    segment_rect_distance,
+    rect_rect_distance,
+    point_polyline_distance,
+    rect_polyline_distance,
+)
+
+__all__ = [
+    "Point",
+    "MBR",
+    "Segment",
+    "Trajectory",
+    "point_distance",
+    "point_segment_distance",
+    "segment_distance",
+    "point_rect_distance",
+    "segment_rect_distance",
+    "rect_rect_distance",
+    "point_polyline_distance",
+    "rect_polyline_distance",
+]

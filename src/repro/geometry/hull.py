@@ -1,0 +1,130 @@
+"""Convex hulls and minimum-area oriented bounding rectangles.
+
+The paper covers each Douglas-Peucker run with a chord-aligned box;
+the classical alternative is the *minimum-area* oriented rectangle,
+computed with rotating calipers over the convex hull.  Both satisfy
+the Lemma 14 tightness contract (every side of a minimum-area
+rectangle touches the hull, hence a raw point), so either can back
+the local filter; the minimum-area variant is never looser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+
+PointTuple = Tuple[float, float]
+
+
+def _cross(o: PointTuple, a: PointTuple, b: PointTuple) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence[PointTuple]) -> List[PointTuple]:
+    """Convex hull in counter-clockwise order (Andrew monotone chain).
+
+    Collinear points on the boundary are dropped.  Degenerate inputs
+    return what they can: one point for a single-point set, two for a
+    collinear set's extremes.
+    """
+    if not points:
+        raise GeometryError("convex hull of zero points")
+    unique = sorted(set((float(x), float(y)) for x, y in points))
+    if len(unique) <= 2:
+        return unique
+    lower: List[PointTuple] = []
+    for p in unique:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[PointTuple] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 2:  # all points collinear
+        return [unique[0], unique[-1]]
+    return hull
+
+
+def min_area_rect(
+    points: Sequence[PointTuple],
+) -> Tuple[PointTuple, Tuple[float, float], float, float]:
+    """Minimum-area oriented rectangle covering ``points``.
+
+    Returns ``(anchor, axis_unit_vector, length, width)``: the rectangle
+    spans ``anchor + s*axis + t*perp`` for ``s in [0, length]``,
+    ``t in [0, width]`` where ``perp`` is ``axis`` rotated +90 degrees.
+
+    Rotating calipers over the hull: the optimal rectangle has one side
+    collinear with a hull edge, so trying every hull edge's direction is
+    exhaustive.
+    """
+    hull = convex_hull(points)
+    if len(hull) == 1:
+        return hull[0], (1.0, 0.0), 0.0, 0.0
+    if len(hull) == 2:
+        (x1, y1), (x2, y2) = hull
+        dx, dy = x2 - x1, y2 - y1
+        norm = math.hypot(dx, dy)
+        return (x1, y1), (dx / norm, dy / norm), norm, 0.0
+
+    best_area = math.inf
+    best = None
+    for i in range(len(hull)):
+        x1, y1 = hull[i]
+        x2, y2 = hull[(i + 1) % len(hull)]
+        dx, dy = x2 - x1, y2 - y1
+        norm = math.hypot(dx, dy)
+        if norm == 0:
+            continue
+        ux, uy = dx / norm, dy / norm
+        lo_s = hi_s = lo_t = hi_t = 0.0
+        first = True
+        for px, py in hull:
+            rx, ry = px - x1, py - y1
+            s = rx * ux + ry * uy
+            t = -rx * uy + ry * ux
+            if first:
+                lo_s = hi_s = s
+                lo_t = hi_t = t
+                first = False
+            else:
+                lo_s = min(lo_s, s)
+                hi_s = max(hi_s, s)
+                lo_t = min(lo_t, t)
+                hi_t = max(hi_t, t)
+        area = (hi_s - lo_s) * (hi_t - lo_t)
+        if area < best_area:
+            anchor = (
+                x1 + lo_s * ux - lo_t * uy,
+                y1 + lo_s * uy + lo_t * ux,
+            )
+            best_area = area
+            best = (anchor, (ux, uy), hi_s - lo_s, hi_t - lo_t)
+    if best is None:  # pragma: no cover - hull always has a valid edge
+        raise GeometryError("degenerate hull")
+    return best
+
+
+def min_area_oriented_box(points: Sequence[PointTuple]):
+    """The minimum-area rectangle as an :class:`OrientedBox`.
+
+    The box frame places the anchor at the rectangle's corner with
+    ``lo_along = lo_perp = 0``, matching the OrientedBox conventions.
+    """
+    from repro.geometry.point import Point
+    from repro.geometry.segment import OrientedBox
+
+    anchor, axis, length, width = min_area_rect(points)
+    return OrientedBox(
+        anchor=Point(*anchor),
+        axis=axis,
+        length=length,
+        lo_along=0.0,
+        lo_perp=0.0,
+        hi_perp=width,
+    )

@@ -1,0 +1,178 @@
+"""Axis-aligned minimum bounding rectangles.
+
+``MBR`` is the workhorse of both the XZ* index (Lemmas 1-2 locate the
+smallest enlarged element covering a trajectory's MBR) and the pruning
+lemmas (``Ext(MBR, eps)`` from Definition 7 is :meth:`MBR.expanded`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class MBR:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate rectangles (zero width and/or height) are legal: a
+    stationary trajectory collapses to a point-sized MBR, and the paper
+    relies on that (the resolution-19 peak in Figure 12).
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"inverted MBR: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of_points(points: Sequence[Tuple[float, float]]) -> "MBR":
+        """The tightest MBR of a non-empty point sequence."""
+        if not points:
+            raise GeometryError("cannot take the MBR of zero points")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return MBR(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def union_all(rects: Iterable["MBR"]) -> "MBR":
+        """The tightest MBR covering every rectangle in ``rects``."""
+        rects = list(rects)
+        if not rects:
+            raise GeometryError("cannot take the union of zero MBRs")
+        return MBR(
+            min(r.min_x for r in rects),
+            min(r.min_y for r in rects),
+            max(r.max_x for r in rects),
+            max(r.max_y for r in rects),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def lower_left(self) -> Point:
+        return Point(self.min_x, self.min_y)
+
+    @property
+    def upper_right(self) -> Point:
+        return Point(self.max_x, self.max_y)
+
+    def corners(self) -> List[Point]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return [
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        ]
+
+    def edges(self) -> List[Tuple[Point, Point]]:
+        """The four edges as point pairs (bottom, right, top, left)."""
+        ll, lr, ur, ul = self.corners()
+        return [(ll, lr), (lr, ur), (ur, ul), (ul, ll)]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains(self, other: "MBR") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and other.max_x <= self.max_x
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        """True if the closed rectangles share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    # ------------------------------------------------------------------
+    # Derived rectangles
+    # ------------------------------------------------------------------
+    def expanded(self, eps: float) -> "MBR":
+        """``Ext(MBR, eps)`` — Definition 7: grow every side by ``eps``."""
+        if eps < 0:
+            raise GeometryError(f"expansion must be non-negative, got {eps}")
+        return MBR(
+            self.min_x - eps, self.min_y - eps, self.max_x + eps, self.max_y + eps
+        )
+
+    def intersection(self, other: "MBR") -> "MBR":
+        """The overlapping rectangle; raises if the two are disjoint."""
+        if not self.intersects(other):
+            raise GeometryError("intersection of disjoint MBRs")
+        return MBR(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Minimum distance from ``(x, y)`` to this rectangle (0 if inside)."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def distance_to_rect(self, other: "MBR") -> float:
+        """Minimum distance between two rectangles (0 if they intersect)."""
+        dx = max(other.min_x - self.max_x, 0.0, self.min_x - other.max_x)
+        dy = max(other.min_y - self.max_y, 0.0, self.min_y - other.max_y)
+        return math.hypot(dx, dy)
+
+    def max_distance_to_point(self, x: float, y: float) -> float:
+        """Maximum distance from ``(x, y)`` to any point of the rectangle."""
+        dx = max(abs(x - self.min_x), abs(x - self.max_x))
+        dy = max(abs(y - self.min_y), abs(y - self.max_y))
+        return math.hypot(dx, dy)

@@ -1,0 +1,40 @@
+"""2-D point type.
+
+Points are a :class:`typing.NamedTuple` so they behave like the plain
+``(x, y)`` tuples used in hot loops while still offering named access
+and a couple of convenience methods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """A point in the plane.
+
+    The library normalises longitude/latitude into the unit square before
+    indexing, so ``x`` and ``y`` are usually in ``[0, 1]``; nothing in this
+    class assumes that.
+    """
+
+    x: float
+    y: float
+
+    def distance(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt in comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.x:.6g}, {self.y:.6g})"

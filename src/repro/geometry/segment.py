@@ -1,0 +1,151 @@
+"""Line segments and an oriented bounding box used by DP features.
+
+The paper's local filtering covers the raw points between two
+consecutive Douglas-Peucker representative points with a bounding box
+that "is not necessarily parallel to the coordinate axis"
+(Section IV-D).  :class:`OrientedBox` implements that: a rectangle
+aligned with the chord between the two representative points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        return self.start.distance(self.end)
+
+    def mbr(self) -> MBR:
+        return MBR.of_points([self.start, self.end])
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to the segment."""
+        from repro.geometry.distance import point_segment_distance
+
+        return point_segment_distance(p, self.start, self.end)
+
+
+@dataclass(frozen=True)
+class OrientedBox:
+    """A rectangle aligned with a chord, covering a run of points.
+
+    The box is described by the chord (``anchor`` -> ``anchor + axis``)
+    plus signed perpendicular extents and signed extensions along the
+    chord.  Distances are computed in the box's local frame, which keeps
+    the pruning lemmas (Lemmas 13-14) exact for rotated boxes.
+    """
+
+    anchor: Point
+    axis: Tuple[float, float]  # unit vector along the chord
+    length: float  # extent along the axis from the anchor
+    lo_along: float  # signed extension behind the anchor (<= 0)
+    lo_perp: float  # signed extent below the chord (<= 0)
+    hi_perp: float  # signed extent above the chord (>= 0)
+
+    @staticmethod
+    def cover(points: Sequence[Tuple[float, float]]) -> "OrientedBox":
+        """Smallest chord-aligned box covering ``points``.
+
+        The chord is the line from the first to the last point; when the
+        two coincide the box degenerates gracefully to an axis-aligned
+        frame anchored at that point.
+        """
+        if not points:
+            raise GeometryError("cannot cover zero points")
+        first = Point(*points[0])
+        last = Point(*points[-1])
+        vx, vy = last.x - first.x, last.y - first.y
+        norm = math.hypot(vx, vy)
+        if norm == 0.0:
+            ux, uy = 1.0, 0.0
+            chord = 0.0
+        else:
+            ux, uy = vx / norm, vy / norm
+            chord = norm
+        lo_a = hi_a = lo_p = hi_p = 0.0
+        for px, py in points:
+            rx, ry = px - first.x, py - first.y
+            along = rx * ux + ry * uy
+            perp = -rx * uy + ry * ux
+            lo_a = min(lo_a, along)
+            hi_a = max(hi_a, along)
+            lo_p = min(lo_p, perp)
+            hi_p = max(hi_p, perp)
+        hi_a = max(hi_a, chord)
+        return OrientedBox(first, (ux, uy), hi_a, lo_a, lo_p, hi_p)
+
+    # ------------------------------------------------------------------
+    def _local(self, x: float, y: float) -> Tuple[float, float]:
+        """Coordinates of ``(x, y)`` in the box frame (along, perp)."""
+        ux, uy = self.axis
+        rx, ry = x - self.anchor.x, y - self.anchor.y
+        return rx * ux + ry * uy, -rx * uy + ry * ux
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Minimum distance from ``(x, y)`` to the box (0 if inside)."""
+        along, perp = self._local(x, y)
+        da = max(self.lo_along - along, 0.0, along - self.length)
+        dp = max(self.lo_perp - perp, 0.0, perp - self.hi_perp)
+        return math.hypot(da, dp)
+
+    def contains_point(self, x: float, y: float, tol: float = 1e-12) -> bool:
+        along, perp = self._local(x, y)
+        return (
+            self.lo_along - tol <= along <= self.length + tol
+            and self.lo_perp - tol <= perp <= self.hi_perp + tol
+        )
+
+    def corners(self) -> List[Point]:
+        """The four corners of the box in world coordinates."""
+        ux, uy = self.axis
+        out = []
+        for along, perp in (
+            (self.lo_along, self.lo_perp),
+            (self.length, self.lo_perp),
+            (self.length, self.hi_perp),
+            (self.lo_along, self.hi_perp),
+        ):
+            out.append(
+                Point(
+                    self.anchor.x + along * ux - perp * uy,
+                    self.anchor.y + along * uy + perp * ux,
+                )
+            )
+        return out
+
+    def mbr(self) -> MBR:
+        """Axis-aligned envelope of the oriented box."""
+        return MBR.of_points(self.corners())
+
+    def edges(self) -> List[Tuple[Point, Point]]:
+        """The four edges of the box as point pairs."""
+        cs = self.corners()
+        return [(cs[i], cs[(i + 1) % 4]) for i in range(4)]
+
+    def distance_to_segment(self, a: Point, b: Point) -> float:
+        """Exact minimum distance from segment ``a-b`` to the box.
+
+        Zero when the segment touches or crosses the box; otherwise the
+        minimum over the four box edges of the segment-segment distance.
+        This exactness matters: Lemma 14 prunes whenever the bound
+        exceeds ``eps``, so an over-estimate would drop true answers.
+        """
+        from repro.geometry.distance import segment_distance
+
+        if self.contains_point(a.x, a.y) or self.contains_point(b.x, b.y):
+            return 0.0
+        return min(segment_distance(a, b, e0, e1) for e0, e1 in self.edges())

@@ -1,0 +1,107 @@
+"""Trajectory type — an identified, ordered sequence of 2-D points.
+
+The library treats points as raw ``(x, y)`` tuples in hot loops; this
+class keeps the identifier, memoises the MBR, and provides the handful
+of derived views (prefixes, segments) the paper's definitions use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+PointTuple = Tuple[float, float]
+
+
+class Trajectory:
+    """A trajectory ``T = (t_1, ..., t_n)`` with identifier ``tid``.
+
+    Instances are immutable after construction; the point list is copied
+    and the MBR computed lazily.
+    """
+
+    __slots__ = ("tid", "_points", "_mbr")
+
+    def __init__(self, tid: str, points: Sequence[PointTuple]):
+        if not points:
+            raise GeometryError(f"trajectory {tid!r} has no points")
+        self.tid = str(tid)
+        self._points: Tuple[PointTuple, ...] = tuple(
+            (float(p[0]), float(p[1])) for p in points
+        )
+        self._mbr: Optional[MBR] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Tuple[PointTuple, ...]:
+        return self._points
+
+    @property
+    def mbr(self) -> MBR:
+        if self._mbr is None:
+            self._mbr = MBR.of_points(self._points)
+        return self._mbr
+
+    @property
+    def start(self) -> Point:
+        return Point(*self._points[0])
+
+    @property
+    def end(self) -> Point:
+        return Point(*self._points[-1])
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[PointTuple]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> PointTuple:
+        return self._points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self.tid == other.tid and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self._points))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trajectory({self.tid!r}, n={len(self._points)})"
+
+    # ------------------------------------------------------------------
+    def prefix(self, j: int) -> "Trajectory":
+        """``T^j`` — the prefix up to (and including) the ``j``-th point.
+
+        ``j`` is 1-based, as in the paper's Definition 1.
+        """
+        if not 1 <= j <= len(self._points):
+            raise GeometryError(f"prefix length {j} out of range 1..{len(self)}")
+        return Trajectory(self.tid, self._points[:j])
+
+    def segments(self) -> List[Tuple[PointTuple, PointTuple]]:
+        """Consecutive point pairs; empty for single-point trajectories."""
+        return [
+            (self._points[i], self._points[i + 1])
+            for i in range(len(self._points) - 1)
+        ]
+
+    def is_stationary(self, tol: float = 0.0) -> bool:
+        """True if every point lies within ``tol`` of the first point.
+
+        Stationary taxi trajectories are what produces the paper's peak
+        at the maximum resolution in Figure 12(a).
+        """
+        box = self.mbr
+        return box.width <= tol and box.height <= tol
+
+    def translated(self, dx: float, dy: float, tid: Optional[str] = None) -> "Trajectory":
+        """A copy shifted by ``(dx, dy)`` (used by dataset scaling)."""
+        return Trajectory(
+            tid if tid is not None else self.tid,
+            [(x + dx, y + dy) for x, y in self._points],
+        )

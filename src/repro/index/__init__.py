@@ -1,0 +1,46 @@
+"""Spatial indexes: the paper's XZ* and the XZ-Ordering (XZ2) baseline.
+
+The XZ* index (Section IV) represents a trajectory by the pair
+``(quadrant sequence, position code)`` — the smallest *enlarged element*
+covering the trajectory's MBR plus the combination of the element's four
+sub-quads the trajectory actually touches — and maps every such index
+space to a unique 64-bit integer with the bijection of Definition 5.
+
+``xz2`` implements plain XZ-Ordering (as used by GeoMesa / JUST /
+TrajMesa) over the same machinery so the paper's index-level comparisons
+can run on identical substrate.
+"""
+
+from repro.index.bounds import SpaceBounds
+from repro.index.quadrant import Element, smallest_enlarged_element
+from repro.index.position_code import (
+    CODE_QUADS,
+    QUADS_TO_CODE,
+    position_code_of,
+    quad_rects,
+    codes_avoiding,
+)
+from repro.index.xzstar import XZStarIndex, IndexedTrajectory
+from repro.index.xz2 import XZ2Index
+from repro.index.ranges import IndexRange, merge_values_to_ranges, merge_ranges
+from repro.index.analysis import PlanQualityReport, analyse_plans, fragmentation_vs_merge_gap
+
+__all__ = [
+    "SpaceBounds",
+    "Element",
+    "smallest_enlarged_element",
+    "CODE_QUADS",
+    "QUADS_TO_CODE",
+    "position_code_of",
+    "quad_rects",
+    "codes_avoiding",
+    "XZStarIndex",
+    "IndexedTrajectory",
+    "XZ2Index",
+    "IndexRange",
+    "merge_values_to_ranges",
+    "merge_ranges",
+    "PlanQualityReport",
+    "analyse_plans",
+    "fragmentation_vs_merge_gap",
+]

@@ -1,0 +1,106 @@
+"""Plan-quality analysis.
+
+Tools to quantify how well the XZ* planner serves a workload: how
+fragmented the scan plans are (ranges per query — the property the
+depth-first encoding exists to minimise), how much of the scanned data
+is useful (rows covered vs. answers), and where queries land in the
+resolution hierarchy.  Used for tuning ``max_resolution`` and
+``range_merge_gap`` on a new dataset.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.geometry.trajectory import Trajectory
+
+
+@dataclass
+class PlanQualityReport:
+    """Aggregate planner statistics over a workload."""
+
+    queries: int
+    #: scan ranges per query (fragmentation; fewer = fewer seeks)
+    mean_ranges: float
+    max_ranges: int
+    #: index spaces covered per query
+    mean_index_spaces: float
+    #: stored rows inside the plan per query
+    mean_rows_covered: float
+    #: fraction of plans that hit the planner budget
+    truncated_fraction: float
+    #: resolution band histogram over queries: (min_r, max_r) pairs
+    band_histogram: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"queries analysed:      {self.queries}",
+            f"ranges/query:          {self.mean_ranges:.1f} "
+            f"(max {self.max_ranges})",
+            f"index spaces/query:    {self.mean_index_spaces:.1f}",
+            f"rows covered/query:    {self.mean_rows_covered:.1f}",
+            f"truncated plans:       {self.truncated_fraction:.0%}",
+            "resolution bands:",
+        ]
+        for band, count in sorted(self.band_histogram.items()):
+            lines.append(f"  [{band}]: {count}")
+        return "\n".join(lines)
+
+
+def analyse_plans(
+    engine, queries: Sequence[Trajectory], eps: float
+) -> PlanQualityReport:
+    """Plan every query (no scanning) and aggregate plan quality."""
+    ranges_counts: List[int] = []
+    space_counts: List[int] = []
+    rows_covered: List[int] = []
+    truncated = 0
+    bands: Dict[str, int] = {}
+    histogram = engine.store.value_histogram
+    for query in queries:
+        plan = engine.pruner.prune(query, eps)
+        ranges_counts.append(len(plan.ranges))
+        space_counts.append(plan.num_index_spaces)
+        covered = sum(
+            count
+            for value, count in histogram.items()
+            if any(r.contains(value) for r in plan.ranges)
+        )
+        rows_covered.append(covered)
+        if plan.truncated:
+            truncated += 1
+        band = f"{plan.min_resolution}-{plan.max_resolution}"
+        bands[band] = bands.get(band, 0) + 1
+    n = len(queries)
+    return PlanQualityReport(
+        queries=n,
+        mean_ranges=statistics.fmean(ranges_counts) if n else 0.0,
+        max_ranges=max(ranges_counts, default=0),
+        mean_index_spaces=statistics.fmean(space_counts) if n else 0.0,
+        mean_rows_covered=statistics.fmean(rows_covered) if n else 0.0,
+        truncated_fraction=truncated / n if n else 0.0,
+        band_histogram=bands,
+    )
+
+
+def fragmentation_vs_merge_gap(
+    engine, queries: Sequence[Trajectory], eps: float, gaps: Sequence[int]
+) -> Dict[int, float]:
+    """Mean ranges per query as a function of the range-merge gap.
+
+    Bridging small holes trades a few junk rows for fewer range seeks
+    (Section IV-C's continuity argument); this sweep quantifies that
+    trade on real plans.
+    """
+    from repro.index.ranges import merge_values_to_ranges
+
+    out: Dict[int, float] = {}
+    plans = [engine.pruner.prune(q, eps) for q in queries]
+    for gap in gaps:
+        counts = []
+        for plan in plans:
+            counts.append(len(merge_values_to_ranges(plan.values, gap=gap)))
+        out[gap] = statistics.fmean(counts) if counts else 0.0
+    return out

@@ -1,0 +1,166 @@
+"""Position codes — the fine-grained half of the XZ* index (Section IV-B).
+
+An enlarged element is divided evenly into four sub-quads::
+
+        +-------+-------+
+        |   b   |   d   |
+        +-------+-------+
+        |   a   |   c   |        a = the base quad-tree cell
+        +-------+-------+
+
+A trajectory whose MBR is covered by the element touches one of exactly
+ten sub-quad combinations (the MBR's lower-left corner always lies in
+quad ``a``, see the proof sketch under Figure 3(d)), and each
+combination is a *position code*:
+
+    1 = {a,b}    2 = {a,c}     3 = {a,d}      4 = {a,c,d}   5 = {a,b,c}
+    6 = {a,b,c,d}  7 = {a,b,d}  8 = {b,c}     9 = {b,c,d}   10 = {a}
+
+Code 10 only occurs at the maximum resolution: at any coarser
+resolution a trajectory contained in a single sub-quad would have been
+assigned a deeper enlarged element (Lemma 6's precondition).
+
+This exact code assignment reproduces the paper's worked pruning
+arithmetic: pruning every code touching quad ``c`` removes codes
+``{2, 4, 5, 6, 8, 9}`` (60% of ten), pruning ``b`` and ``c`` keeps only
+``{3, 10}``, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import IndexingError
+from repro.geometry.mbr import MBR
+from repro.index.quadrant import Element
+
+Quad = str  # 'a' | 'b' | 'c' | 'd'
+
+#: position code -> the sub-quads its index space consists of
+CODE_QUADS: Dict[int, FrozenSet[Quad]] = {
+    1: frozenset("ab"),
+    2: frozenset("ac"),
+    3: frozenset("ad"),
+    4: frozenset("acd"),
+    5: frozenset("abc"),
+    6: frozenset("abcd"),
+    7: frozenset("abd"),
+    8: frozenset("bc"),
+    9: frozenset("bcd"),
+    10: frozenset("a"),
+}
+
+#: inverse mapping, sub-quad combination -> position code
+QUADS_TO_CODE: Dict[FrozenSet[Quad], int] = {v: k for k, v in CODE_QUADS.items()}
+
+#: codes legal below the maximum resolution (all but {a})
+NON_MAX_CODES: Tuple[int, ...] = tuple(sorted(set(CODE_QUADS) - {10}))
+ALL_CODES: Tuple[int, ...] = tuple(sorted(CODE_QUADS))
+
+#: number of index spaces per element: 9 below max resolution, 10 at it
+CODES_PER_ELEMENT = len(NON_MAX_CODES)
+CODES_PER_MAX_ELEMENT = len(ALL_CODES)
+
+
+def quad_rects(element: Element) -> Dict[Quad, MBR]:
+    """Unit-space rectangles of the four sub-quads of an element.
+
+    Quads ``b``/``c``/``d`` of elements on the top/right border overhang
+    the unit square, exactly like the enlarged element itself.
+    """
+    w = element.cell_width
+    x0, y0 = element.ix * w, element.iy * w
+    return {
+        "a": MBR(x0, y0, x0 + w, y0 + w),
+        "b": MBR(x0, y0 + w, x0 + w, y0 + 2 * w),
+        "c": MBR(x0 + w, y0, x0 + 2 * w, y0 + w),
+        "d": MBR(x0 + w, y0 + w, x0 + 2 * w, y0 + 2 * w),
+    }
+
+
+def _classify_point(x: float, y: float, x0: float, y0: float, w: float) -> Quad:
+    """The sub-quad containing a point of the enlarged element.
+
+    Points exactly on the internal boundary belong to the lower/left
+    quad.  That convention matches the *closed* fit test of Lemma 2
+    (``smallest_enlarged_element``), which is what guarantees that a
+    trajectory confined to quad ``a`` below the maximum resolution is
+    impossible — including for points clamped onto the space boundary
+    (e.g. a stationary ping at latitude exactly +90).
+    """
+    right = x > x0 + w
+    top = y > y0 + w
+    if right:
+        return "d" if top else "c"
+    return "b" if top else "a"
+
+
+def touched_quads(
+    points: Sequence[Tuple[float, float]], element: Element
+) -> FrozenSet[Quad]:
+    """The set of sub-quads containing at least one trajectory point."""
+    w = element.cell_width
+    x0, y0 = element.ix * w, element.iy * w
+    return frozenset(_classify_point(x, y, x0, y0, w) for x, y in points)
+
+
+def position_code_of(
+    points: Sequence[Tuple[float, float]],
+    element: Element,
+    max_resolution: int,
+) -> int:
+    """The position code of a trajectory inside its enlarged element.
+
+    ``points`` must be normalised to unit space and ``element`` must be
+    the trajectory's smallest enlarged element — under those conditions
+    the touched combination is always one of the ten legal codes.
+    """
+    quads = touched_quads(points, element)
+    try:
+        code = QUADS_TO_CODE[quads]
+    except KeyError:
+        raise IndexingError(
+            f"trajectory touches illegal sub-quad combination "
+            f"{sorted(quads)} of element {element.sequence_str!r}; "
+            "was the element computed with smallest_enlarged_element?"
+        ) from None
+    if code == 10 and element.level < max_resolution:
+        raise IndexingError(
+            "single-quad combination {a} below the maximum resolution; "
+            "the enlarged element is not the smallest one"
+        )
+    return code
+
+
+def codes_for_element(element: Element, max_resolution: int) -> Tuple[int, ...]:
+    """Legal position codes for an element: 9 normally, 10 at max depth."""
+    if element.level >= max_resolution:
+        return ALL_CODES
+    return NON_MAX_CODES
+
+
+def codes_avoiding(
+    far_quads: Iterable[Quad], element: Element, max_resolution: int
+) -> List[int]:
+    """Codes whose index space avoids every quad in ``far_quads``.
+
+    This is Lemma 10: if a sub-quad is provably farther than ``eps``
+    from the query, no trajectory stored under a code containing it can
+    be an answer, so only the avoiding codes survive.
+    """
+    far = frozenset(far_quads)
+    return [
+        code
+        for code in codes_for_element(element, max_resolution)
+        if not (CODE_QUADS[code] & far)
+    ]
+
+
+def index_space_rects(element: Element, code: int) -> List[MBR]:
+    """The rectangles making up the index space ``(element, code)``."""
+    try:
+        quads = CODE_QUADS[code]
+    except KeyError:
+        raise IndexingError(f"position code {code} out of range 1..10") from None
+    rects = quad_rects(element)
+    return [rects[q] for q in sorted(quads)]

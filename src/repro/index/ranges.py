@@ -1,0 +1,83 @@
+"""Contiguous index-value ranges.
+
+Global pruning emits individual index values; the scanner wants as few
+key-range scans as possible ("using the simple concatenation will make
+the encoding discontinuous, which will increase the number of key range
+searches", Section IV-C).  Because the XZ* encoding numbers index spaces
+depth-first, values accepted together are frequently adjacent, and
+merging them recovers long contiguous scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class IndexRange:
+    """A half-open range ``[start, stop)`` of index values."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.stop:
+            raise ValueError(f"empty index range [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def contains(self, value: int) -> bool:
+        return self.start <= value < self.stop
+
+    def overlaps(self, other: "IndexRange") -> bool:
+        return self.start < other.stop and other.start < self.stop
+
+    def touches(self, other: "IndexRange") -> bool:
+        """Overlapping or exactly adjacent (mergeable)."""
+        return self.start <= other.stop and other.start <= self.stop
+
+
+def merge_values_to_ranges(values: Iterable[int], gap: int = 0) -> List[IndexRange]:
+    """Merge sorted-or-not index values into maximal half-open ranges.
+
+    ``gap`` allows bridging small holes: two runs separated by at most
+    ``gap`` values are merged into one scan.  Bridging trades a few
+    false-positive rows (filtered later anyway) for fewer range seeks —
+    the same trade HBase scan planning makes.
+    """
+    ordered = sorted(set(values))
+    if not ordered:
+        return []
+    out: List[IndexRange] = []
+    run_start = prev = ordered[0]
+    for v in ordered[1:]:
+        if v <= prev + 1 + gap:
+            prev = v
+            continue
+        out.append(IndexRange(run_start, prev + 1))
+        run_start = prev = v
+    out.append(IndexRange(run_start, prev + 1))
+    return out
+
+
+def merge_ranges(ranges: Sequence[IndexRange]) -> List[IndexRange]:
+    """Normalise a range list: sort and merge everything that touches."""
+    if not ranges:
+        return []
+    ordered = sorted(ranges)
+    out = [ordered[0]]
+    for r in ordered[1:]:
+        last = out[-1]
+        if r.touches(last):
+            if r.stop > last.stop:
+                out[-1] = IndexRange(last.start, r.stop)
+        else:
+            out.append(r)
+    return out
+
+
+def total_span(ranges: Sequence[IndexRange]) -> int:
+    """Total number of index values covered by a normalised range list."""
+    return sum(len(r) for r in merge_ranges(list(ranges)))

@@ -1,0 +1,94 @@
+"""Bloom filter for SSTable point lookups.
+
+Standard double-hashing construction (Kirsch-Mitzenmacher): ``k`` probe
+positions derived from two independent 64-bit hashes of the key.  Sized
+from an expected element count and target false-positive rate, exactly
+the knobs HBase exposes per store file.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import KVStoreError
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _fnv1a(data: bytes, seed: int) -> int:
+    h = (_FNV_OFFSET ^ seed) & _MASK
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over byte keys."""
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "count")
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items < 1:
+            raise KVStoreError(
+                f"expected item count must be >= 1, got {expected_items}"
+            )
+        if not 0.0 < false_positive_rate < 1.0:
+            raise KVStoreError(
+                f"false positive rate must be in (0, 1), got {false_positive_rate}"
+            )
+        ln2 = math.log(2.0)
+        bits = int(math.ceil(-expected_items * math.log(false_positive_rate) / (ln2 * ln2)))
+        self.num_bits = max(64, bits)
+        self.num_hashes = max(1, int(round(self.num_bits / expected_items * ln2)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.count = 0
+
+    def _positions(self, key: bytes):
+        h1 = _fnv1a(key, 0)
+        h2 = _fnv1a(key, 0x9E3779B97F4A7C15) | 1  # odd stride
+        for i in range(self.num_hashes):
+            yield ((h1 + i * h2) & _MASK) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of set bits (diagnostic; ~0.5 at design load)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.num_bits
+
+    def to_bytes(self) -> bytes:
+        """Serialised filter (bit count, hash count, count, bit array)."""
+        header = self.num_bits.to_bytes(8, "big") + self.num_hashes.to_bytes(
+            2, "big"
+        ) + self.count.to_bytes(8, "big")
+        return header + bytes(self._bits)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "BloomFilter":
+        if len(data) < 18:
+            raise KVStoreError("truncated bloom filter")
+        num_bits = int.from_bytes(data[0:8], "big")
+        num_hashes = int.from_bytes(data[8:10], "big")
+        count = int.from_bytes(data[10:18], "big")
+        bits = bytearray(data[18:])
+        if len(bits) != (num_bits + 7) // 8:
+            raise KVStoreError("bloom filter bit array length mismatch")
+        bf = BloomFilter.__new__(BloomFilter)
+        bf.num_bits = num_bits
+        bf.num_hashes = num_hashes
+        bf._bits = bits
+        bf.count = count
+        return bf

@@ -1,0 +1,109 @@
+"""Read caching for the key-value store.
+
+HBase fronts its store files with a BlockCache; this module provides
+the embedded equivalent: a byte-bounded LRU (:class:`LRUCache`) and a
+table wrapper (:class:`CachedKVTable`) that serves repeated point reads
+from memory, invalidates on writes, and counts hits/misses so benches
+can report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.table import KVTable
+
+
+class LRUCache:
+    """A byte-budgeted least-recently-used map from bytes to bytes."""
+
+    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024):
+        if capacity_bytes < 1:
+            raise KVStoreError(
+                f"cache capacity must be >= 1 byte, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._data: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        key = bytes(key)
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        entry_size = len(key) + len(value)
+        if entry_size > self.capacity_bytes:
+            return  # larger than the whole cache: not cacheable
+        if key in self._data:
+            self.current_bytes -= len(key) + len(self._data[key])
+            del self._data[key]
+        while self.current_bytes + entry_size > self.capacity_bytes:
+            old_key, old_value = self._data.popitem(last=False)
+            self.current_bytes -= len(old_key) + len(old_value)
+            self.evictions += 1
+        self._data[key] = value
+        self.current_bytes += entry_size
+
+    def invalidate(self, key: bytes) -> None:
+        key = bytes(key)
+        if key in self._data:
+            self.current_bytes -= len(key) + len(self._data[key])
+            del self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.current_bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedKVTable:
+    """A :class:`KVTable` front with an LRU over point reads.
+
+    Scans bypass the cache (range reads would churn it, the same reason
+    HBase marks scans non-caching by default); writes invalidate.
+    """
+
+    def __init__(self, table: KVTable, capacity_bytes: int = 16 * 1024 * 1024):
+        self.table = table
+        self.cache = LRUCache(capacity_bytes)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.table.get(key)
+        if value is not None:
+            self.cache.put(key, value)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.cache.invalidate(key)
+        self.table.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.cache.invalidate(key)
+        self.table.delete(key)
+
+    def scan(self, *args, **kwargs) -> Iterator[Tuple[bytes, bytes]]:
+        return self.table.scan(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self.table, name)

@@ -1,0 +1,118 @@
+"""A cluster cost model for the embedded store.
+
+The paper evaluates on a five-node HBase cluster; the embedded store is
+one process.  Two cluster effects matter for its Figure 19 (shard
+sweep) and the scalability discussion:
+
+* **skew** — with few salt shards, similar trajectories concentrate in
+  few regions, so one region server does most of a query's scanning
+  while the others idle (query latency ~ the *maximum* per-node work);
+* **fan-out** — with many shards every query multiplies its range
+  scans, paying a per-range RPC cost on every node.
+
+``ClusterModel`` replays a table's regions onto ``n`` simulated nodes
+(round-robin by region order, like HBase's balancer at steady state)
+and converts observed scan statistics into a makespan:
+
+    latency(query) = max over nodes of
+        rows_scanned(node) * row_cost + ranges(node) * seek_cost
+
+It is a *model* — deliberately simple, stated in DESIGN.md — but it is
+driven by the real per-region scan counts of the real store, so the
+U-shape it produces comes from measured data placement, not from
+assumptions about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.table import KVTable, ScanRange
+
+
+@dataclass
+class NodeLoad:
+    """Per-node tallies for one simulated query."""
+
+    rows_scanned: int = 0
+    range_seeks: int = 0
+
+    def cost(self, row_cost: float, seek_cost: float) -> float:
+        return self.rows_scanned * row_cost + self.range_seeks * seek_cost
+
+
+class ClusterModel:
+    """Replays multi-range scans onto ``n`` simulated region servers."""
+
+    def __init__(
+        self,
+        table: KVTable,
+        nodes: int = 5,
+        row_cost: float = 1.0,
+        seek_cost: float = 20.0,
+    ):
+        if nodes < 1:
+            raise KVStoreError(f"node count must be >= 1, got {nodes}")
+        self.table = table
+        self.nodes = nodes
+        self.row_cost = row_cost
+        self.seek_cost = seek_cost
+
+    # ------------------------------------------------------------------
+    def _node_of_region(self, region_index: int) -> int:
+        """Round-robin region placement (HBase balancer steady state)."""
+        return region_index % self.nodes
+
+    def simulate_scan(self, ranges: Sequence[ScanRange]) -> Dict[int, NodeLoad]:
+        """Per-node load of executing ``ranges`` against the table.
+
+        Counts the same rows the real scan would touch (pre-filter),
+        attributed to the node hosting each region.
+        """
+        loads: Dict[int, NodeLoad] = {
+            node: NodeLoad() for node in range(self.nodes)
+        }
+        for scan_range in ranges:
+            for idx, region in enumerate(self.table.regions):
+                if (
+                    scan_range.start is not None
+                    and region.end_key is not None
+                    and region.end_key <= scan_range.start
+                ):
+                    continue
+                if (
+                    scan_range.stop is not None
+                    and region.start_key is not None
+                    and region.start_key >= scan_range.stop
+                ):
+                    continue
+                node = self._node_of_region(idx)
+                load = loads[node]
+                load.range_seeks += 1
+                load.rows_scanned += sum(
+                    1 for _ in region.scan(scan_range.start, scan_range.stop)
+                )
+        return loads
+
+    def makespan(self, ranges: Sequence[ScanRange]) -> float:
+        """Query latency under the model: the slowest node's cost."""
+        loads = self.simulate_scan(ranges)
+        return max(
+            load.cost(self.row_cost, self.seek_cost) for load in loads.values()
+        )
+
+    def skew(self, ranges: Sequence[ScanRange]) -> float:
+        """Load imbalance: max node rows over mean node rows (>= 1).
+
+        1.0 is a perfectly balanced query; the paper's "data skew
+        problem" with small shard counts shows up as large values.
+        """
+        loads = self.simulate_scan(ranges)
+        rows = [load.rows_scanned for load in loads.values()]
+        total = sum(rows)
+        if total == 0:
+            return 1.0
+        mean = total / self.nodes
+        return max(rows) / mean

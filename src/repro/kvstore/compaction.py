@@ -1,0 +1,170 @@
+"""Compaction policies for the LSM store.
+
+The base :class:`~repro.kvstore.lsm.LSMStore` merges everything into
+one run when its table count passes a trigger — simple, but every
+compaction rewrites the whole store.  Real LSM engines trade that
+write amplification against read amplification with tiering; this
+module adds the standard **size-tiered** policy (merge only runs of
+similar size, like Cassandra's STCS and HBase's exploring compactor)
+behind a policy interface, plus the amplification counters needed to
+compare them.
+
+    policy = SizeTieredPolicy(min_merge=4)
+    store = CompactingLSMStore(policy=policy)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kvstore.lsm import LSMStore
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable
+
+
+class CompactionPolicy(abc.ABC):
+    """Chooses which runs to merge after a flush."""
+
+    @abc.abstractmethod
+    def select(self, runs: Sequence[SSTable]) -> List[int]:
+        """Indexes of the runs to merge; empty means no compaction."""
+
+
+class FullCompactionPolicy(CompactionPolicy):
+    """Merge everything once the run count passes ``trigger``."""
+
+    def __init__(self, trigger: int = 8):
+        self.trigger = trigger
+
+    def select(self, runs: Sequence[SSTable]) -> List[int]:
+        if len(runs) >= self.trigger:
+            return list(range(len(runs)))
+        return []
+
+
+class SizeTieredPolicy(CompactionPolicy):
+    """Merge ``min_merge``+ runs whose sizes are within ``ratio``.
+
+    Buckets runs by size; the first bucket with at least ``min_merge``
+    members is merged.  Small fresh runs get consolidated quickly while
+    a large old run is left alone until enough peers accumulate —
+    the behaviour that keeps write amplification logarithmic.
+    """
+
+    def __init__(self, min_merge: int = 4, ratio: float = 2.0):
+        self.min_merge = max(2, min_merge)
+        self.ratio = max(1.1, ratio)
+
+    def select(self, runs: Sequence[SSTable]) -> List[int]:
+        order = sorted(range(len(runs)), key=lambda i: runs[i].size_bytes)
+        bucket: List[int] = []
+        bucket_floor = 0.0
+        for idx in order:
+            size = max(1.0, float(runs[idx].size_bytes))
+            if not bucket:
+                bucket = [idx]
+                bucket_floor = size
+                continue
+            if size <= bucket_floor * self.ratio:
+                bucket.append(idx)
+                if len(bucket) >= self.min_merge:
+                    return bucket
+            else:
+                bucket = [idx]
+                bucket_floor = size
+        return []
+
+
+class CompactingLSMStore(LSMStore):
+    """An :class:`LSMStore` driven by a pluggable compaction policy.
+
+    Tracks the two amplification metrics:
+
+    * ``bytes_written`` — payload bytes written by flushes *and*
+      rewrites during compaction (write amplification's numerator);
+    * ``bytes_ingested`` — payload bytes the caller actually put.
+    """
+
+    def __init__(
+        self,
+        flush_threshold: int = 4 * 1024 * 1024,
+        policy: Optional[CompactionPolicy] = None,
+    ):
+        super().__init__(flush_threshold=flush_threshold, compaction_trigger=10**9)
+        self.policy = policy if policy is not None else SizeTieredPolicy()
+        self.bytes_written = 0
+        self.bytes_ingested = 0
+
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self.bytes_ingested += len(key) + len(value)
+        super().put(key, value)
+
+    def flush(self) -> None:
+        if len(self.memtable) == 0:
+            return
+        run = SSTable.from_entries(self.memtable.items())
+        self.bytes_written += run.size_bytes
+        self.sstables.insert(0, run)
+        self.memtable = MemTable()
+        self.flush_count += 1
+        self._policy_compact()
+
+    def _policy_compact(self) -> None:
+        while True:
+            chosen = self.policy.select(self.sstables)
+            if not chosen:
+                return
+            self._merge_runs(sorted(chosen))
+
+    def _merge_runs(self, indexes: List[int]) -> None:
+        """Merge the chosen runs (newest-first order preserved)."""
+        import heapq
+
+        chosen = [self.sstables[i] for i in indexes]
+        keep_tombstones = len(chosen) < len(self.sstables)
+        # Newest-first priority matches the store's read path.
+        heap: List[Tuple[bytes, int, object, object]] = []
+        for priority, run in enumerate(chosen):
+            it = run.scan()
+            for key, value in it:
+                heap.append((key, priority, value, it))
+                break
+        heapq.heapify(heap)
+        merged: List[Tuple[bytes, object]] = []
+        last_key: Optional[bytes] = None
+        while heap:
+            key, priority, value, it = heapq.heappop(heap)
+            for nk, nv in it:
+                heapq.heappush(heap, (nk, priority, nv, it))
+                break
+            if key == last_key:
+                continue
+            last_key = key
+            if value is TOMBSTONE and not keep_tombstones:
+                continue  # full merge: the tombstone has done its job
+            merged.append((key, value))
+        new_run = SSTable.from_entries(merged)
+        self.bytes_written += new_run.size_bytes
+        # Replace the chosen runs, keeping overall newest-first order at
+        # the position of the newest chosen run.
+        insert_at = indexes[0]
+        for i in reversed(indexes):
+            del self.sstables[i]
+        if len(new_run):
+            self.sstables.insert(insert_at, new_run)
+        self.compaction_count += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def write_amplification(self) -> float:
+        """Bytes written to runs per byte ingested (>= 1 after flushes)."""
+        if self.bytes_ingested == 0:
+            return 0.0
+        return self.bytes_written / self.bytes_ingested
+
+    @property
+    def read_amplification(self) -> int:
+        """Structures a point read may consult: memtable + runs."""
+        return 1 + len(self.sstables)

@@ -1,0 +1,138 @@
+"""Log-structured merge store: one memtable over a stack of SSTables.
+
+Writes land in the memtable; when it exceeds ``flush_threshold`` bytes
+it is frozen into an SSTable.  Reads merge the memtable and all tables
+newest-first so fresher versions (and tombstones) shadow older ones.
+When the table count passes ``compaction_trigger`` every run is merged
+into one, dropping shadowed versions and tombstones — size-tiered
+compaction in its simplest honest form.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.kvstore.memtable import TOMBSTONE, Entry, MemTable
+from repro.kvstore.sstable import SSTable
+
+
+class LSMStore:
+    """An embedded LSM tree over byte keys and byte values."""
+
+    def __init__(
+        self,
+        flush_threshold: int = 4 * 1024 * 1024,
+        compaction_trigger: int = 8,
+    ):
+        self.flush_threshold = flush_threshold
+        self.compaction_trigger = compaction_trigger
+        self.memtable = MemTable()
+        #: newest first
+        self.sstables: List[SSTable] = []
+        self.flush_count = 0
+        self.compaction_count = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self.memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self.memtable.delete(key)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self.memtable.approximate_size >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new SSTable (no-op when empty)."""
+        if len(self.memtable) == 0:
+            return
+        self.sstables.insert(0, SSTable.from_entries(self.memtable.items()))
+        self.memtable = MemTable()
+        self.flush_count += 1
+        if len(self.sstables) >= self.compaction_trigger:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every run into one, dropping shadowed versions and
+        tombstones (a full compaction may drop tombstones safely)."""
+        if len(self.sstables) <= 1 and len(self.memtable) == 0:
+            return
+        merged = [
+            (key, value)
+            for key, value in self._merged_entries(None, None)
+            if value is not TOMBSTONE
+        ]
+        self.memtable = MemTable()
+        self.sstables = [SSTable.from_entries(merged)] if merged else []
+        self.compaction_count += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Newest visible value for ``key`` or ``None``."""
+        found = self.memtable.get(key)
+        if found is not None:
+            return None if found is TOMBSTONE else found  # type: ignore[return-value]
+        for table in self.sstables:
+            found = table.get(key)
+            if found is not None:
+                return None if found is TOMBSTONE else found  # type: ignore[return-value]
+        return None
+
+    def _merged_entries(
+        self, start: Optional[bytes], stop: Optional[bytes]
+    ) -> Iterator[Entry]:
+        """K-way merge of all runs, newest version per key, tombstones
+        still present (dropped by :meth:`scan`)."""
+        sources: List[Iterator[Entry]] = [self.memtable.scan(start, stop)]
+        sources.extend(t.scan(start, stop) for t in self.sstables)
+        # Heap items: (key, source priority, tiebreak, value, source iter).
+        # Lower priority = newer source, so the first item popped for a
+        # key is the authoritative version.
+        heap: List[Tuple[bytes, int, object, Iterator[Entry]]] = []
+        for priority, source in enumerate(sources):
+            for key, value in source:
+                heap.append((key, priority, value, source))
+                break
+        heapq.heapify(heap)
+        last_key: Optional[bytes] = None
+        while heap:
+            key, priority, value, source = heapq.heappop(heap)
+            for next_key, next_value in source:
+                heapq.heappush(heap, (next_key, priority, next_value, source))
+                break
+            if key == last_key:
+                continue  # older version shadowed
+            last_key = key
+            yield key, value
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Visible entries with ``start <= key < stop``, key order."""
+        for key, value in self._merged_entries(start, stop):
+            if value is not TOMBSTONE:
+                yield key, value  # type: ignore[misc]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of visible entries (requires a scan; diagnostic)."""
+        return sum(1 for _ in self.scan())
+
+    @property
+    def approximate_size(self) -> int:
+        """Payload bytes across the memtable and every run."""
+        return self.memtable.approximate_size + sum(
+            t.size_bytes for t in self.sstables
+        )
+
+    def entries(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Alias of a full :meth:`scan` (used by region splits)."""
+        return self.scan()

@@ -1,0 +1,57 @@
+"""I/O accounting for the key-value store.
+
+The paper's evaluation reports *retrieved trajectories*, *candidates
+after pruning* and I/O reduction percentages; these counters are where
+those numbers come from in this reproduction.  ``rows_scanned`` counts
+every row the store had to look at inside scan ranges, whether or not a
+server-side filter later dropped it; ``rows_returned`` counts rows that
+survived filtering and crossed the (simulated) client boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOMetrics:
+    """Mutable counter bundle; one per table, shareable by scanners."""
+
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    bytes_read: int = 0
+    range_seeks: int = 0
+    gets: int = 0
+    puts: int = 0
+    bloom_negatives: int = 0
+    sstables_opened: int = 0
+    regions_visited: int = 0
+    filter_evaluations: int = 0
+    filter_rejections: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of the current counters."""
+        return {
+            "rows_scanned": self.rows_scanned,
+            "rows_returned": self.rows_returned,
+            "bytes_read": self.bytes_read,
+            "range_seeks": self.range_seeks,
+            "gets": self.gets,
+            "puts": self.puts,
+            "bloom_negatives": self.bloom_negatives,
+            "sstables_opened": self.sstables_opened,
+            "regions_visited": self.regions_visited,
+            "filter_evaluations": self.filter_evaluations,
+            "filter_rejections": self.filter_rejections,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (between benchmark phases)."""
+        for name in self.snapshot():
+            setattr(self, name, 0)
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since a :meth:`snapshot`."""
+        now = self.snapshot()
+        return {name: now[name] - before.get(name, 0) for name in now}

@@ -1,0 +1,147 @@
+"""Table persistence: save/load a :class:`KVTable` as a directory.
+
+Layout::
+
+    <dir>/MANIFEST.json     table metadata + region boundaries
+    <dir>/region-00000.sst  one compacted SSTable per region
+    <dir>/wal.log           mutation log for writes after the snapshot
+
+``save_table`` snapshots each region into an SSTable file;
+``load_table`` restores the regions and replays any WAL tail, giving
+the embedded store the full HBase durability story in miniature:
+snapshot + log = recoverable state.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from typing import Optional
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.table import KVTable
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.log"
+FORMAT_VERSION = 1
+
+
+def _encode_key(key: Optional[bytes]) -> Optional[str]:
+    return None if key is None else base64.b16encode(key).decode("ascii")
+
+
+def _decode_key(text: Optional[str]) -> Optional[bytes]:
+    return None if text is None else base64.b16decode(text.encode("ascii"))
+
+
+def save_table(table: KVTable, directory: str) -> None:
+    """Snapshot ``table`` into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    regions = []
+    for i, region in enumerate(table.regions):
+        filename = f"region-{i:05d}.sst"
+        run = SSTable.from_entries(region.store.scan())
+        run.write_to(os.path.join(directory, filename))
+        regions.append(
+            {
+                "file": filename,
+                "start_key": _encode_key(region.start_key),
+                "end_key": _encode_key(region.end_key),
+            }
+        )
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "name": table.name,
+        "max_region_rows": table.max_region_rows,
+        "flush_threshold": table.flush_threshold,
+        "regions": regions,
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    # A fresh snapshot supersedes any previous log.
+    wal_path = os.path.join(directory, WAL_NAME)
+    if os.path.exists(wal_path):
+        os.remove(wal_path)
+
+
+def load_table(directory: str) -> KVTable:
+    """Restore a table saved with :func:`save_table`, replaying the WAL."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise KVStoreError(f"no manifest in {directory}") from None
+    except json.JSONDecodeError as exc:
+        raise KVStoreError(f"corrupt manifest in {directory}: {exc}") from exc
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise KVStoreError(
+            f"unsupported table format {manifest.get('format_version')!r}"
+        )
+
+    table = KVTable(
+        name=manifest["name"],
+        max_region_rows=manifest["max_region_rows"],
+        flush_threshold=manifest["flush_threshold"],
+    )
+    from repro.kvstore.region import Region
+
+    regions = []
+    for entry in manifest["regions"]:
+        region = Region(
+            _decode_key(entry["start_key"]),
+            _decode_key(entry["end_key"]),
+            manifest["flush_threshold"],
+        )
+        run = SSTable.load(os.path.join(directory, entry["file"]))
+        region.store.sstables = [run]
+        region.row_count = len(run)
+        regions.append(region)
+    if regions:
+        table.regions = regions
+
+    # Replay writes that landed after the snapshot.
+    for op, key, value in WriteAheadLog.replay(os.path.join(directory, WAL_NAME)):
+        if op == OP_PUT:
+            table.put(key, value)
+        else:
+            table.delete(key)
+    return table
+
+
+class DurableKVTable:
+    """A :class:`KVTable` wrapper that logs every mutation to a WAL.
+
+    Use :func:`save_table` periodically to checkpoint; on restart,
+    :func:`load_table` restores the snapshot and replays the log.
+    """
+
+    def __init__(self, table: KVTable, directory: str, sync: bool = False):
+        os.makedirs(directory, exist_ok=True)
+        self.table = table
+        self.directory = directory
+        self.wal = WriteAheadLog(os.path.join(directory, WAL_NAME), sync=sync)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.wal.append_put(bytes(key), bytes(value))
+        self.table.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.wal.append_delete(bytes(key))
+        self.table.delete(key)
+
+    def checkpoint(self) -> None:
+        """Snapshot the table and truncate the log."""
+        self.wal.flush()
+        save_table(self.table, self.directory)
+        self.wal.truncate()
+
+    def close(self) -> None:
+        self.wal.flush()
+        self.wal.close()
+
+    def __getattr__(self, name):
+        return getattr(self.table, name)

@@ -1,0 +1,177 @@
+"""Immutable sorted string tables.
+
+An SSTable is a frozen, sorted run of ``(key, value | tombstone)``
+entries produced by flushing a memtable or by compaction.  Point reads
+consult a per-table bloom filter first and then binary-search the key
+array; scans bisect to the start key.  Tables can round-trip through a
+compact binary file format with a CRC32 integrity check, mirroring the
+HFile role in HBase.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+import zlib
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CorruptSSTableError, KVStoreError
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.memtable import TOMBSTONE, Entry
+
+_MAGIC = b"RSST"
+_VERSION = 1
+_HEADER = struct.Struct(">4sBQ")  # magic, version, entry count
+_ENTRY_HEADER = struct.Struct(">IBI")  # key len, tombstone flag, value len
+
+
+class SSTable:
+    """An immutable sorted run with a bloom filter."""
+
+    __slots__ = ("_keys", "_values", "bloom", "size_bytes")
+
+    def __init__(self, keys: List[bytes], values: List[object]):
+        if len(keys) != len(values):
+            raise KVStoreError("key/value count mismatch")
+        for i in range(1, len(keys)):
+            if keys[i - 1] >= keys[i]:
+                raise KVStoreError(
+                    f"SSTable entries out of order at position {i}"
+                )
+        self._keys = keys
+        self._values = values
+        self.bloom = BloomFilter(max(1, len(keys)))
+        self.size_bytes = 0
+        for key, value in zip(keys, values):
+            self.bloom.add(key)
+            self.size_bytes += len(key)
+            if value is not TOMBSTONE:
+                self.size_bytes += len(value)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_entries(entries: Iterable[Entry]) -> "SSTable":
+        """Build from an iterable already sorted by key."""
+        keys: List[bytes] = []
+        values: List[object] = []
+        for key, value in entries:
+            keys.append(bytes(key))
+            values.append(value)
+        return SSTable(keys, values)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def min_key(self) -> Optional[bytes]:
+        return self._keys[0] if self._keys else None
+
+    @property
+    def max_key(self) -> Optional[bytes]:
+        return self._keys[-1] if self._keys else None
+
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[object]:
+        """Value, ``TOMBSTONE``, or ``None``; bloom-gated binary search."""
+        key = bytes(key)
+        if not self.bloom.might_contain(key):
+            return None
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return self._values[i]
+        return None
+
+    def might_contain(self, key: bytes) -> bool:
+        return self.bloom.might_contain(bytes(key))
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[Entry]:
+        """Entries with ``start <= key < stop``, tombstones included."""
+        lo = 0 if start is None else bisect.bisect_left(self._keys, bytes(start))
+        hi = (
+            len(self._keys)
+            if stop is None
+            else bisect.bisect_left(self._keys, bytes(stop))
+        )
+        for i in range(lo, hi):
+            yield self._keys[i], self._values[i]
+
+    def overlaps_range(self, start: Optional[bytes], stop: Optional[bytes]) -> bool:
+        """True if any entry could fall in ``[start, stop)``."""
+        if not self._keys:
+            return False
+        if start is not None and self._keys[-1] < start:
+            return False
+        if stop is not None and self._keys[0] >= stop:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # File round trip
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise: header, entries, bloom, CRC32 trailer."""
+        parts = [_HEADER.pack(_MAGIC, _VERSION, len(self._keys))]
+        for key, value in zip(self._keys, self._values):
+            if value is TOMBSTONE:
+                parts.append(_ENTRY_HEADER.pack(len(key), 1, 0))
+                parts.append(key)
+            else:
+                data = bytes(value)  # type: ignore[arg-type]
+                parts.append(_ENTRY_HEADER.pack(len(key), 0, len(data)))
+                parts.append(key)
+                parts.append(data)
+        bloom_bytes = self.bloom.to_bytes()
+        parts.append(struct.pack(">I", len(bloom_bytes)))
+        parts.append(bloom_bytes)
+        body = b"".join(parts)
+        return body + struct.pack(">I", zlib.crc32(body))
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "SSTable":
+        """Deserialise and verify; raises :class:`CorruptSSTableError`."""
+        if len(data) < _HEADER.size + 4:
+            raise CorruptSSTableError("SSTable file truncated")
+        body, (crc,) = data[:-4], struct.unpack(">I", data[-4:])
+        if zlib.crc32(body) != crc:
+            raise CorruptSSTableError("SSTable checksum mismatch")
+        magic, version, count = _HEADER.unpack_from(body, 0)
+        if magic != _MAGIC:
+            raise CorruptSSTableError(f"bad magic {magic!r}")
+        if version != _VERSION:
+            raise CorruptSSTableError(f"unsupported SSTable version {version}")
+        offset = _HEADER.size
+        keys: List[bytes] = []
+        values: List[object] = []
+        for _ in range(count):
+            if offset + _ENTRY_HEADER.size > len(body):
+                raise CorruptSSTableError("entry header past end of file")
+            key_len, flag, val_len = _ENTRY_HEADER.unpack_from(body, offset)
+            offset += _ENTRY_HEADER.size
+            if offset + key_len + val_len > len(body):
+                raise CorruptSSTableError("entry data past end of file")
+            keys.append(body[offset : offset + key_len])
+            offset += key_len
+            if flag:
+                values.append(TOMBSTONE)
+            else:
+                values.append(body[offset : offset + val_len])
+                offset += val_len
+        table = SSTable(keys, values)
+        # The bloom filter is rebuilt by the constructor; the stored one
+        # is only read to validate the section framing.
+        (bloom_len,) = struct.unpack_from(">I", body, offset)
+        offset += 4
+        if offset + bloom_len != len(body):
+            raise CorruptSSTableError("bloom filter section length mismatch")
+        return table
+
+    def write_to(self, path: str) -> None:
+        with open(path, "wb") as fh:
+            fh.write(self.to_bytes())
+
+    @staticmethod
+    def load(path: str) -> "SSTable":
+        with open(path, "rb") as fh:
+            return SSTable.from_bytes(fh.read())

@@ -1,0 +1,195 @@
+"""The table facade: routing, auto-splitting, multi-range scans.
+
+``KVTable`` is what the rest of the library talks to.  It mimics the
+slice of the HBase surface TraSS uses: batched puts, point gets, and —
+the centrepiece — multi-range scans with a server-side filter, where
+every row touched inside the requested ranges is accounted as scan I/O
+whether or not the filter lets it through.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.filters import RowFilter
+from repro.kvstore.metrics import IOMetrics
+from repro.kvstore.region import Region
+
+
+@dataclass(frozen=True)
+class ScanRange:
+    """A half-open row-key range ``[start, stop)``; ``None`` = open end."""
+
+    start: Optional[bytes] = None
+    stop: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.start is not None
+            and self.stop is not None
+            and self.start >= self.stop
+        ):
+            raise KVStoreError(
+                f"empty scan range [{self.start!r}, {self.stop!r})"
+            )
+
+
+class KVTable:
+    """A sorted key-value table split into auto-managed regions."""
+
+    def __init__(
+        self,
+        name: str = "table",
+        max_region_rows: int = 100_000,
+        flush_threshold: int = 4 * 1024 * 1024,
+        metrics: Optional[IOMetrics] = None,
+    ):
+        if max_region_rows < 2:
+            raise KVStoreError(
+                f"max_region_rows must be >= 2, got {max_region_rows}"
+            )
+        self.name = name
+        self.max_region_rows = max_region_rows
+        self.flush_threshold = flush_threshold
+        self.metrics = metrics if metrics is not None else IOMetrics()
+        #: regions ordered by start key; region 0 starts open
+        self.regions: List[Region] = [Region(None, None, flush_threshold)]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _region_index_for(self, key: bytes) -> int:
+        """Index of the region owning ``key``."""
+        starts = [r.start_key for r in self.regions]
+        # Region 0 has start None (the minimum); search the rest.
+        lo, hi = 1, len(self.regions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if starts[mid] <= key:  # type: ignore[operator]
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+    def region_for(self, key: bytes) -> Region:
+        return self.regions[self._region_index_for(bytes(key))]
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def row_count(self) -> int:
+        return sum(r.row_count for r in self.regions)
+
+    @property
+    def approximate_size(self) -> int:
+        return sum(r.approximate_size for r in self.regions)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        key = bytes(key)
+        idx = self._region_index_for(key)
+        region = self.regions[idx]
+        region.put(key, value)
+        self.metrics.puts += 1
+        if region.row_count > self.max_region_rows:
+            self._split_region(idx)
+
+    def batch_put(self, items: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Apply puts in bulk; returns the number written."""
+        count = 0
+        for key, value in items:
+            self.put(key, value)
+            count += 1
+        return count
+
+    def delete(self, key: bytes) -> None:
+        key = bytes(key)
+        self.region_for(key).delete(key)
+
+    def _split_region(self, idx: int) -> None:
+        left, right = self.regions[idx].split()
+        self.regions[idx : idx + 1] = [left, right]
+
+    def flush_all(self) -> None:
+        for region in self.regions:
+            region.store.flush()
+
+    def compact_all(self) -> None:
+        for region in self.regions:
+            region.store.compact()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        key = bytes(key)
+        self.metrics.gets += 1
+        value = self.region_for(key).get(key)
+        if value is not None:
+            self.metrics.bytes_read += len(key) + len(value)
+        return value
+
+    def _regions_overlapping(
+        self, start: Optional[bytes], stop: Optional[bytes]
+    ) -> List[Region]:
+        out = []
+        for region in self.regions:
+            if start is not None and region.end_key is not None:
+                if region.end_key <= start:
+                    continue
+            if stop is not None and region.start_key is not None:
+                if region.start_key >= stop:
+                    continue
+            out.append(region)
+        return out
+
+    def scan(
+        self,
+        start: Optional[bytes] = None,
+        stop: Optional[bytes] = None,
+        row_filter: Optional[RowFilter] = None,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Rows in ``[start, stop)`` surviving the server-side filter.
+
+        Rows the filter rejects are still counted in ``rows_scanned``
+        and ``bytes_read`` — they were real I/O on the server.
+        """
+        self.metrics.range_seeks += 1
+        for region in self._regions_overlapping(start, stop):
+            self.metrics.regions_visited += 1
+            for key, value in region.scan(start, stop):
+                self.metrics.rows_scanned += 1
+                self.metrics.bytes_read += len(key) + len(value)
+                if row_filter is not None:
+                    self.metrics.filter_evaluations += 1
+                    if not row_filter.accept(key, value):
+                        self.metrics.filter_rejections += 1
+                        continue
+                self.metrics.rows_returned += 1
+                yield key, value
+
+    def scan_ranges(
+        self,
+        ranges: Sequence[ScanRange],
+        row_filter: Optional[RowFilter] = None,
+    ) -> List[Tuple[bytes, bytes]]:
+        """Execute every range scan and concatenate the results.
+
+        Ranges are executed in the given order; overlapping ranges will
+        return duplicate rows (the planner is expected to merge first).
+        """
+        out: List[Tuple[bytes, bytes]] = []
+        for scan_range in ranges:
+            out.extend(self.scan(scan_range.start, scan_range.stop, row_filter))
+        return out
+
+    def full_scan(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Every row in the table (baseline work / verification)."""
+        return self.scan(None, None, None)

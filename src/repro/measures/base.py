@@ -1,0 +1,76 @@
+"""Measure protocol and registry.
+
+A measure maps two point sequences to a non-negative number.  Pruning
+correctness requires two properties the paper states as Lemma 5 and
+Lemma 12:
+
+* ``supports_point_lower_bound`` — Lemma 5: for every point ``t`` of one
+  trajectory, ``f(T1, T2) >= d(t, T2)``.  All three shipped measures
+  have it, which is why the global pruning and DP-feature filters apply
+  to all of them (Section VII).
+* ``supports_start_end_filter`` — Lemma 12: ``f >= d(q_1, t_1)`` and
+  ``f >= d(q_n, t_m)``.  True for Fréchet and DTW, *false* for
+  Hausdorff (its matching is unordered), so the start/end filter must be
+  skipped there (Section VII-A).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Tuple, Type
+
+from repro.exceptions import QueryError
+
+PointSeq = Sequence[Tuple[float, float]]
+
+
+class Measure(abc.ABC):
+    """A trajectory similarity distance ``f(Q, T)``."""
+
+    #: registry key, e.g. ``"frechet"``
+    name: str = ""
+    #: Lemma 5 holds (point-to-trajectory distance lower-bounds f).
+    supports_point_lower_bound: bool = True
+    #: Lemma 12 holds (start/end point distances lower-bound f).
+    supports_start_end_filter: bool = True
+
+    @abc.abstractmethod
+    def distance(self, a: PointSeq, b: PointSeq) -> float:
+        """Exact distance between point sequences ``a`` and ``b``."""
+
+    def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
+        """True iff ``distance(a, b) <= eps``.
+
+        Subclasses override with early-abandoning implementations; the
+        default just computes the exact distance.
+        """
+        return self.distance(a, b) <= eps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Type[Measure]] = {}
+
+
+def register_measure(cls: Type[Measure]) -> Type[Measure]:
+    """Class decorator adding a measure to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no registry name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_measure(name: str) -> Measure:
+    """Instantiate a measure by registry name (``frechet``/``hausdorff``/``dtw``)."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise QueryError(
+            f"unknown measure {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_measures() -> Tuple[str, ...]:
+    """Registry keys of all shipped measures."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,84 @@
+"""Dynamic Time Warping distance (Definition 13).
+
+DTW sums matched-pair distances along the optimal monotone alignment.
+Because every matched pair contributes non-negatively, DTW dominates
+each individual pair distance, so both Lemma 5 and Lemma 12 hold
+(Section VII-B) and the full pruning pipeline applies unchanged.
+
+The threshold variant abandons once every cell of a row exceeds the
+threshold — path costs only grow, so no alignment through such a row
+can finish at or under it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.measures.base import Measure, PointSeq, register_measure
+
+
+def _dist(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def dtw(a: PointSeq, b: PointSeq) -> float:
+    """Exact DTW distance between point sequences."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("DTW distance of an empty sequence")
+    inf = math.inf
+    # Boundary row: only the (0, 0) entry point is free.
+    prev = [0.0] + [inf] * m
+    for i in range(n):
+        ai = a[i]
+        cur = [inf] * (m + 1)
+        for j in range(1, m + 1):
+            best = min(prev[j], prev[j - 1], cur[j - 1])
+            if best == inf:
+                continue
+            cur[j] = best + _dist(ai, b[j - 1])
+        prev = cur
+    return prev[m]
+
+
+def dtw_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
+    """Early-abandoning decision ``DTW(a, b) <= eps``."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("DTW distance of an empty sequence")
+    inf = math.inf
+    prev = [inf] * (m + 1)
+    prev[0] = 0.0
+    for i in range(n):
+        ai = a[i]
+        cur = [inf] * (m + 1)
+        alive = False
+        for j in range(1, m + 1):
+            best = min(prev[j], prev[j - 1], cur[j - 1])
+            if best == inf:
+                continue
+            v = best + _dist(ai, b[j - 1])
+            if v <= eps:
+                cur[j] = v
+                alive = True
+        if not alive:
+            return False
+        prev = cur
+        prev[0] = inf  # only the very first row may start at (0,0)
+    return prev[m] <= eps
+
+
+@register_measure
+class DTW(Measure):
+    """Dynamic Time Warping; supports Lemmas 5 and 12."""
+
+    name = "dtw"
+    supports_point_lower_bound = True
+    supports_start_end_filter = True
+
+    def distance(self, a: PointSeq, b: PointSeq) -> float:
+        return dtw(a, b)
+
+    def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
+        return dtw_within(a, b, eps)

@@ -1,0 +1,100 @@
+"""EDR — Edit Distance on Real sequences (Chen et al., SIGMOD 2005).
+
+The paper's conclusion lists "how to support other metrics" as future
+work; EDR is the canonical next metric.  ``EDR(Q, T)`` counts the
+minimum number of insert / delete / substitute edits to align the two
+sequences, where two points *match* (cost 0) when both coordinates are
+within the matching tolerance ``delta``.
+
+EDR does **not** satisfy Lemma 5: a single far-away point costs one
+edit no matter how far it is, so no point-distance lower-bounds the
+value and neither global pruning nor the DP-feature filters apply.  The
+measure is flagged accordingly and the engine falls back to a full scan
+with exact (early-abandoning) evaluation — correct, just unindexed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.measures.base import Measure, PointSeq, register_measure
+
+#: default matching tolerance, in the same units as the coordinates
+DEFAULT_DELTA = 0.005
+
+
+def _match(a: Tuple[float, float], b: Tuple[float, float], delta: float) -> bool:
+    return abs(a[0] - b[0]) <= delta and abs(a[1] - b[1]) <= delta
+
+
+def edr(a: PointSeq, b: PointSeq, delta: float = DEFAULT_DELTA) -> float:
+    """Exact EDR edit count between two point sequences."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("EDR distance of an empty sequence")
+    prev = list(range(m + 1))
+    for i in range(1, n + 1):
+        cur = [i] + [0] * m
+        ai = a[i - 1]
+        for j in range(1, m + 1):
+            subst = prev[j - 1] + (0 if _match(ai, b[j - 1], delta) else 1)
+            cur[j] = min(subst, prev[j] + 1, cur[j - 1] + 1)
+        prev = cur
+    return float(prev[m])
+
+
+def edr_within(
+    a: PointSeq, b: PointSeq, eps: float, delta: float = DEFAULT_DELTA
+) -> bool:
+    """Early-abandoning decision ``EDR(a, b) <= eps``.
+
+    Classic banded trick: every cell value is at least the row minimum,
+    and row minima never decrease, so once a row's minimum exceeds
+    ``eps`` the answer is ``False``.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("EDR distance of an empty sequence")
+    if abs(n - m) > eps:
+        return False  # length difference forces that many edits
+    prev = list(range(m + 1))
+    for i in range(1, n + 1):
+        cur = [i] + [0] * m
+        ai = a[i - 1]
+        row_min = float(i)
+        for j in range(1, m + 1):
+            subst = prev[j - 1] + (0 if _match(ai, b[j - 1], delta) else 1)
+            value = min(subst, prev[j] + 1, cur[j - 1] + 1)
+            cur[j] = value
+            if value < row_min:
+                row_min = value
+        if row_min > eps:
+            return False
+        prev = cur
+    return prev[m] <= eps
+
+
+@register_measure
+class EDR(Measure):
+    """Edit Distance on Real sequences.
+
+    Neither Lemma 5 nor Lemma 12 holds (edits have unit cost regardless
+    of geometric distance), so the engine must not index-prune under
+    this measure.
+    """
+
+    name = "edr"
+    supports_point_lower_bound = False
+    supports_start_end_filter = False
+
+    def __init__(self, delta: float = DEFAULT_DELTA):
+        if delta < 0:
+            raise ValueError(f"match tolerance must be non-negative, got {delta}")
+        self.delta = delta
+
+    def distance(self, a: PointSeq, b: PointSeq) -> float:
+        return edr(a, b, self.delta)
+
+    def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
+        return edr_within(a, b, eps, self.delta)

@@ -1,0 +1,102 @@
+"""ERP — Edit distance with Real Penalty (Chen & Ng, VLDB 2004).
+
+ERP aligns two sequences with insert/delete gaps priced by the distance
+to a fixed *gap point* ``g``, and substitutions priced by the point
+distance; unlike DTW it is a true metric.
+
+Lemma 5 does not hold in the form global pruning needs (a point of
+``T`` may be deleted at a price unrelated to its distance to ``Q``), so
+— like EDR — ERP is flagged un-prunable and the engine answers it with
+a verified full scan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.measures.base import Measure, PointSeq, register_measure
+
+#: default gap point: the origin of the space
+DEFAULT_GAP: Tuple[float, float] = (0.0, 0.0)
+
+
+def _dist(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def erp(
+    a: PointSeq, b: PointSeq, gap: Tuple[float, float] = DEFAULT_GAP
+) -> float:
+    """Exact ERP distance between two point sequences."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("ERP distance of an empty sequence")
+    gap_a = [_dist(p, gap) for p in a]
+    gap_b = [_dist(p, gap) for p in b]
+    prev = [0.0] * (m + 1)
+    for j in range(1, m + 1):
+        prev[j] = prev[j - 1] + gap_b[j - 1]
+    for i in range(1, n + 1):
+        cur = [prev[0] + gap_a[i - 1]] + [0.0] * m
+        ai = a[i - 1]
+        for j in range(1, m + 1):
+            cur[j] = min(
+                prev[j - 1] + _dist(ai, b[j - 1]),  # substitute
+                prev[j] + gap_a[i - 1],  # delete from a
+                cur[j - 1] + gap_b[j - 1],  # delete from b
+            )
+        prev = cur
+    return prev[m]
+
+
+def erp_within(
+    a: PointSeq,
+    b: PointSeq,
+    eps: float,
+    gap: Tuple[float, float] = DEFAULT_GAP,
+) -> bool:
+    """Early-abandoning decision ``ERP(a, b) <= eps`` via row minima."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("ERP distance of an empty sequence")
+    gap_a = [_dist(p, gap) for p in a]
+    gap_b = [_dist(p, gap) for p in b]
+    prev = [0.0] * (m + 1)
+    for j in range(1, m + 1):
+        prev[j] = prev[j - 1] + gap_b[j - 1]
+    for i in range(1, n + 1):
+        cur = [prev[0] + gap_a[i - 1]] + [0.0] * m
+        ai = a[i - 1]
+        row_min = cur[0]
+        for j in range(1, m + 1):
+            value = min(
+                prev[j - 1] + _dist(ai, b[j - 1]),
+                prev[j] + gap_a[i - 1],
+                cur[j - 1] + gap_b[j - 1],
+            )
+            cur[j] = value
+            if value < row_min:
+                row_min = value
+        if row_min > eps:
+            return False
+        prev = cur
+    return prev[m] <= eps
+
+
+@register_measure
+class ERP(Measure):
+    """Edit distance with Real Penalty; metric, but not Lemma-5 prunable."""
+
+    name = "erp"
+    supports_point_lower_bound = False
+    supports_start_end_filter = False
+
+    def __init__(self, gap: Tuple[float, float] = DEFAULT_GAP):
+        self.gap = gap
+
+    def distance(self, a: PointSeq, b: PointSeq) -> float:
+        return erp(a, b, self.gap)
+
+    def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
+        return erp_within(a, b, eps, self.gap)

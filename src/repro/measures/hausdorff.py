@@ -1,0 +1,89 @@
+"""Hausdorff distance between point sets (Definition 12).
+
+``D_H(Q, T) = max( max_i min_j d(q_i, t_j), max_j min_i d(t_j, q_i) )``.
+
+Hausdorff satisfies Lemma 5 (every point's nearest-neighbour distance
+lower-bounds it) but **not** Lemma 12: the matching is unordered, so the
+start point of ``Q`` may legitimately match an interior point of ``T``.
+Query processing must therefore skip the start/end filter under this
+measure (Section VII-A), which ``supports_start_end_filter = False``
+encodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.measures.base import Measure, PointSeq, register_measure
+
+
+def _dist_sq(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def _directed_sq(a: PointSeq, b: PointSeq, abandon_sq: float = math.inf) -> float:
+    """``max_{p in a} min_{q in b} d(p, q)^2`` with early abandon.
+
+    Returns a value ``> abandon_sq`` as soon as the directed distance is
+    known to exceed it.
+    """
+    worst = 0.0
+    for p in a:
+        best = math.inf
+        for q in b:
+            d = _dist_sq(p, q)
+            if d < best:
+                best = d
+                if best <= worst:
+                    break  # cannot raise the running max
+        if best > worst:
+            worst = best
+            if worst > abandon_sq:
+                return worst
+    return worst
+
+
+def hausdorff(a: PointSeq, b: PointSeq) -> float:
+    """Exact symmetric Hausdorff distance."""
+    if not a or not b:
+        raise ValueError("Hausdorff distance of an empty sequence")
+    forward = _directed_sq(a, b)
+    backward = _directed_sq(b, a)
+    return math.sqrt(max(forward, backward))
+
+
+def hausdorff_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
+    """Early-abandoning decision ``D_H(a, b) <= eps``.
+
+    The abandon threshold is slightly relaxed so the final comparison
+    can be made in the sqrt domain, keeping the decision bit-consistent
+    with :func:`hausdorff` even when ``eps`` equals the exact distance.
+    """
+    if not a or not b:
+        raise ValueError("Hausdorff distance of an empty sequence")
+    abandon_sq = (eps * (1.0 + 1e-12)) ** 2 if eps > 0 else 0.0
+    forward = _directed_sq(a, b, abandon_sq)
+    if forward > abandon_sq:
+        return False
+    backward = _directed_sq(b, a, abandon_sq)
+    if backward > abandon_sq:
+        return False
+    return math.sqrt(max(forward, backward)) <= eps
+
+
+@register_measure
+class Hausdorff(Measure):
+    """Symmetric Hausdorff distance; Lemma 5 yes, Lemma 12 no."""
+
+    name = "hausdorff"
+    supports_point_lower_bound = True
+    supports_start_end_filter = False
+
+    def distance(self, a: PointSeq, b: PointSeq) -> float:
+        return hausdorff(a, b)
+
+    def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
+        return hausdorff_within(a, b, eps)

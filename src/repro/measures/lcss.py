@@ -1,0 +1,74 @@
+"""LCSS distance — Longest Common SubSequence similarity.
+
+Classic robust measure (Vlachos et al., ICDE 2002): two points match
+when both coordinates are within ``delta``; the LCSS length is the
+longest monotone chain of matches, and the distance is
+
+    D_L(Q, T) = 1 - LCSS(Q, T) / min(|Q|, |T|)      in [0, 1].
+
+Like EDR it tolerates outliers by *skipping* points, which is exactly
+why Lemma 5 cannot hold: a far-away point simply doesn't participate.
+Flagged non-prunable; the engine answers LCSS queries with the verified
+full-scan fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.measures.base import Measure, PointSeq, register_measure
+
+DEFAULT_DELTA = 0.005
+
+
+def _match(a: Tuple[float, float], b: Tuple[float, float], delta: float) -> bool:
+    return abs(a[0] - b[0]) <= delta and abs(a[1] - b[1]) <= delta
+
+
+def lcss_length(a: PointSeq, b: PointSeq, delta: float = DEFAULT_DELTA) -> int:
+    """Length of the longest common subsequence under tolerance delta."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("LCSS of an empty sequence")
+    prev = [0] * (m + 1)
+    for i in range(1, n + 1):
+        cur = [0] * (m + 1)
+        ai = a[i - 1]
+        for j in range(1, m + 1):
+            if _match(ai, b[j - 1], delta):
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[m]
+
+
+def lcss_distance(
+    a: PointSeq, b: PointSeq, delta: float = DEFAULT_DELTA
+) -> float:
+    """``1 - LCSS / min(|a|, |b|)`` — 0 when one sequence matches into
+    the other completely, 1 when nothing matches."""
+    return 1.0 - lcss_length(a, b, delta) / min(len(a), len(b))
+
+
+@register_measure
+class LCSS(Measure):
+    """LCSS distance; robust to outliers, not index-prunable."""
+
+    name = "lcss"
+    supports_point_lower_bound = False
+    supports_start_end_filter = False
+
+    def __init__(self, delta: float = DEFAULT_DELTA):
+        if delta < 0:
+            raise ValueError(f"match tolerance must be non-negative, got {delta}")
+        self.delta = delta
+
+    def distance(self, a: PointSeq, b: PointSeq) -> float:
+        return lcss_distance(a, b, self.delta)
+
+    def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
+        # eps in [0, 1]: require LCSS >= (1 - eps) * min length; the DP
+        # has no cheap sound abandon (matches can cluster late), so the
+        # exact table is computed.
+        return self.distance(a, b) <= eps

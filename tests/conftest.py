@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic datasets and engines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.data.generators import tdrive_like
+
+
+BEIJING = SpaceBounds(116.0, 39.5, 117.0, 40.5)
+
+
+def make_walk(tid: str, rng: random.Random, n_range=(5, 40)) -> Trajectory:
+    """A bounded random walk inside the Beijing test box."""
+    x = rng.uniform(116.1, 116.9)
+    y = rng.uniform(39.6, 40.4)
+    points = [(x, y)]
+    for _ in range(rng.randint(*n_range)):
+        x += rng.uniform(-0.005, 0.005)
+        y += rng.uniform(-0.005, 0.005)
+        points.append((x, y))
+    return Trajectory(tid, points)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """200 random walks, session-scoped for reuse."""
+    rng = random.Random(42)
+    return [make_walk(f"t{i}", rng) for i in range(200)]
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return TraSSConfig(
+        bounds=BEIJING, max_resolution=12, dp_tolerance=0.002, shards=4
+    )
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_dataset, small_config):
+    """A TraSS engine loaded with the small dataset (read-only use)."""
+    return TraSS.build(small_dataset, small_config)
+
+
+@pytest.fixture(scope="session")
+def tdrive_small():
+    """A small T-Drive-like dataset with stationary taxis included."""
+    return tdrive_like(150, seed=7)

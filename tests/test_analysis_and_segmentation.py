@@ -1,0 +1,153 @@
+"""Tests for plan analysis and GPS stream segmentation."""
+
+import math
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.data.segmentation import segment_stream, split_by_dwell, split_by_gap
+from repro.exceptions import ReproError
+from repro.index.analysis import analyse_plans, fragmentation_vs_merge_gap
+
+
+@pytest.fixture(scope="module")
+def engine_and_queries():
+    rng = random.Random(81)
+    data = []
+    for i in range(100):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        pts = [(x, y)]
+        for _ in range(rng.randint(3, 12)):
+            x = min(0.99, max(0, x + rng.uniform(-0.01, 0.01)))
+            y = min(0.99, max(0, y + rng.uniform(-0.01, 0.01)))
+            pts.append((x, y))
+        data.append(Trajectory(f"t{i}", pts))
+    cfg = TraSSConfig(bounds=SpaceBounds(0, 0, 1, 1), max_resolution=10, shards=2)
+    return TraSS.build(data, cfg), data[:10]
+
+
+class TestPlanAnalysis:
+    def test_report_fields(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        report = analyse_plans(engine, queries, eps=0.02)
+        assert report.queries == 10
+        assert report.mean_ranges >= 1
+        assert report.max_ranges >= report.mean_ranges
+        assert report.mean_index_spaces >= 1
+        assert 0.0 <= report.truncated_fraction <= 1.0
+        assert sum(report.band_histogram.values()) == 10
+
+    def test_summary_renders(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        text = analyse_plans(engine, queries, eps=0.02).summary()
+        assert "ranges/query" in text
+        assert "resolution bands:" in text
+
+    def test_rows_covered_bounds_retrieved(self, engine_and_queries):
+        """Rows covered by the plan equals what a scan would touch."""
+        engine, queries = engine_and_queries
+        report = analyse_plans(engine, queries, eps=0.02)
+        total_retrieved = 0
+        for q in queries:
+            total_retrieved += engine.threshold_search(q, 0.02).retrieved_rows
+        assert report.mean_rows_covered == pytest.approx(
+            total_retrieved / len(queries)
+        )
+
+    def test_fragmentation_decreases_with_gap(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        sweep = fragmentation_vs_merge_gap(
+            engine, queries, eps=0.02, gaps=[0, 2, 8, 32]
+        )
+        values = [sweep[g] for g in (0, 2, 8, 32)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestGapSplitting:
+    def test_no_gaps_single_trip(self):
+        pts = [(0.001 * i, 0.0) for i in range(10)]
+        trips = split_by_gap("v", pts, max_gap=0.01)
+        assert len(trips) == 1
+        assert trips[0].tid == "v_t0"
+        assert len(trips[0]) == 10
+
+    def test_gap_splits(self):
+        pts = [(0.0, 0.0), (0.001, 0.0), (5.0, 5.0), (5.001, 5.0)]
+        trips = split_by_gap("v", pts, max_gap=0.01)
+        assert len(trips) == 2
+        assert trips[0].points == ((0.0, 0.0), (0.001, 0.0))
+        assert trips[1].points == ((5.0, 5.0), (5.001, 5.0))
+
+    def test_short_segments_dropped(self):
+        pts = [(0.0, 0.0), (5.0, 5.0), (5.001, 5.0)]
+        trips = split_by_gap("v", pts, max_gap=0.01, min_points=2)
+        assert len(trips) == 1  # the lone first ping is dropped
+
+    def test_empty_stream(self):
+        assert split_by_gap("v", [], 0.01) == []
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            split_by_gap("v", [(0, 0)], max_gap=0.0)
+
+
+class TestDwellSplitting:
+    def test_detects_parked_vehicle(self):
+        moving1 = [(0.01 * i, 0.0) for i in range(10)]
+        parked = [(0.1 + 1e-5 * i, 1e-5 * i) for i in range(8)]
+        moving2 = [(0.1 + 0.01 * i, 0.05) for i in range(1, 10)]
+        trips, dwells = split_by_dwell(
+            "v", moving1 + parked + moving2, dwell_radius=0.001,
+            min_dwell_points=5,
+        )
+        assert len(dwells) == 1
+        assert len(trips) == 2
+        assert dwells[0].is_stationary(tol=0.002)
+
+    def test_no_dwell_one_trip(self):
+        pts = [(0.01 * i, 0.0) for i in range(20)]
+        trips, dwells = split_by_dwell("v", pts, dwell_radius=0.001)
+        assert dwells == []
+        assert len(trips) == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            split_by_dwell("v", [(0, 0)], dwell_radius=-1)
+        with pytest.raises(ReproError):
+            split_by_dwell("v", [(0, 0)], dwell_radius=1, min_dwell_points=1)
+
+
+class TestFullPipeline:
+    def test_segment_stream_recovers_structure(self):
+        """A synthetic day: trip, park, trip, signal gap, trip."""
+        rng = random.Random(9)
+        trip1 = [(0.005 * i, 0.0) for i in range(20)]
+        park = [(0.1 + rng.uniform(-2e-5, 2e-5), rng.uniform(-2e-5, 2e-5))
+                for _ in range(10)]
+        trip2 = [(0.1 + 0.005 * i, 0.02) for i in range(1, 20)]
+        # teleport: signal gap
+        trip3 = [(0.8 + 0.005 * i, 0.8) for i in range(20)]
+        stream = trip1 + park + trip2 + trip3
+        trips, dwells = segment_stream(
+            "v", stream, max_gap=0.1, dwell_radius=0.001, min_dwell_points=5
+        )
+        assert len(dwells) == 1
+        assert len(trips) == 3
+
+    def test_segmented_trips_are_indexable(self):
+        """End-to-end: segment a stream, index the trips, query them."""
+        stream = [(0.3 + 0.002 * i, 0.3) for i in range(50)]
+        stream += [(0.5, 0.5)] * 8  # dwell
+        stream += [(0.5 + 0.002 * i, 0.5) for i in range(1, 40)]
+        trips, dwells = segment_stream(
+            "bus", stream, max_gap=0.05, dwell_radius=0.0001,
+            min_dwell_points=5,
+        )
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1), max_resolution=10, shards=1
+        )
+        engine = TraSS.build(trips + dwells, cfg)
+        assert len(engine) == len(trips) + len(dwells)
+        hit = engine.threshold_search(trips[0], 0.001)
+        assert trips[0].tid in hit.answers

@@ -1,0 +1,144 @@
+"""Correctness tests for every baseline against brute force.
+
+The benches only make sense if all systems return the same answers;
+these tests pin that down on random clustered data.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    BruteForceBaseline,
+    DFTBaseline,
+    DITABaseline,
+    JustXZ2Baseline,
+    REPOSEBaseline,
+)
+from repro.exceptions import QueryError
+from repro.geometry.trajectory import Trajectory
+from repro.index.bounds import SpaceBounds
+from repro.measures import get_measure
+
+BOUNDS = SpaceBounds(0, 0, 1, 1)
+
+
+def dataset(rng, n=100):
+    data = []
+    for i in range(n):
+        if i % 3 == 0:  # cluster so queries have true neighbours
+            x, y = 0.5 + rng.uniform(-0.04, 0.04), 0.5 + rng.uniform(-0.04, 0.04)
+        else:
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+        pts = [(x, y)]
+        for _ in range(rng.randint(2, 15)):
+            x = min(0.999, max(0.0, x + rng.uniform(-0.01, 0.01)))
+            y = min(0.999, max(0.0, y + rng.uniform(-0.01, 0.01)))
+            pts.append((x, y))
+        data.append(Trajectory(f"t{i}", pts))
+    return data
+
+
+def make_baselines(measure="frechet"):
+    return [
+        BruteForceBaseline(measure),
+        JustXZ2Baseline(measure, max_resolution=8, bounds=BOUNDS, shards=2),
+        DFTBaseline(measure),
+        DITABaseline(measure, cell_size=0.02),
+    ]
+
+
+class TestThresholdAgreement:
+    def test_all_match_brute_force(self):
+        rng = random.Random(61)
+        data = dataset(rng)
+        m = get_measure("frechet")
+        systems = make_baselines()
+        for system in systems:
+            system.build(data)
+        for trial in range(5):
+            q = data[rng.randrange(len(data))]
+            eps = rng.choice([0.02, 0.05])
+            want = {
+                t.tid for t in data if m.distance(q.points, t.points) <= eps
+            }
+            for system in systems:
+                got = set(system.threshold_search(q, eps).answers)
+                assert got == want, (system.name, trial)
+
+
+class TestTopKAgreement:
+    def test_all_match_brute_force(self):
+        rng = random.Random(62)
+        data = dataset(rng)
+        m = get_measure("frechet")
+        systems = make_baselines() + [REPOSEBaseline("frechet")]
+        for system in systems:
+            system.build(data)
+        want_all = None
+        for trial in range(3):
+            q = data[rng.randrange(len(data))]
+            k = rng.choice([3, 8])
+            want = sorted(
+                (round(m.distance(q.points, t.points), 9), t.tid) for t in data
+            )[:k]
+            want_d = [d for d, _ in want]
+            for system in systems:
+                result = system.topk_search(q, k)
+                got_d = [round(d, 9) for d, _ in result.ranked]
+                assert got_d == want_d, (system.name, trial)
+
+
+class TestSystemSpecifics:
+    def test_repose_threshold_unsupported(self):
+        r = REPOSEBaseline()
+        r.build(dataset(random.Random(63), 10))
+        with pytest.raises(QueryError):
+            r.threshold_search(Trajectory("q", [(0.5, 0.5)]), 0.1)
+
+    def test_dita_hausdorff_unsupported(self):
+        with pytest.raises(QueryError):
+            DITABaseline(measure="hausdorff")
+
+    def test_repose_dtw_degrades_to_full_verification(self):
+        """DTW is not a metric, so the reference lower bound must not be
+        used — REPOSE verifies everything but stays correct."""
+        rng = random.Random(64)
+        data = dataset(rng, 40)
+        r = REPOSEBaseline("dtw", num_references=3)
+        r.build(data)
+        m = get_measure("dtw")
+        q = data[0]
+        result = r.topk_search(q, 5)
+        want = sorted((m.distance(q.points, t.points), t.tid) for t in data)[:5]
+        assert [round(d, 9) for d, _ in result.ranked] == [
+            round(d, 9) for d, _ in want
+        ]
+        assert result.candidates == len(data)  # honest degradation
+
+    def test_dft_dynamic_build_counts_splits(self):
+        rng = random.Random(65)
+        data = dataset(rng, 80)
+        dyn = DFTBaseline()
+        dyn.build(data)
+        assert dyn.tree.split_count > 0
+        bulk = DFTBaseline(bulk=True)
+        bulk.build(data)
+        assert bulk.tree.split_count == 0
+
+    def test_just_metrics_account_io(self):
+        rng = random.Random(66)
+        data = dataset(rng, 60)
+        just = JustXZ2Baseline(max_resolution=8, bounds=BOUNDS, shards=2)
+        just.build(data)
+        q = data[0]
+        result = just.threshold_search(q, 0.05)
+        assert result.retrieved >= result.candidates >= len(result.answers)
+
+    def test_brute_force_counts_everything(self):
+        rng = random.Random(67)
+        data = dataset(rng, 30)
+        brute = BruteForceBaseline()
+        brute.build(data)
+        result = brute.threshold_search(data[0], 0.01)
+        assert result.candidates == 30

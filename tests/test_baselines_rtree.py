@@ -1,0 +1,103 @@
+"""Unit tests for the R-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.baselines.rtree import RTree, RTreeEntry
+from repro.exceptions import ReproError
+from repro.geometry.mbr import MBR
+
+
+def random_entries(rng, n):
+    out = []
+    for i in range(n):
+        x, y = rng.random(), rng.random()
+        out.append(
+            RTreeEntry(
+                MBR(x, y, x + rng.random() * 0.05, y + rng.random() * 0.05), i
+            )
+        )
+    return out
+
+
+class TestInsertPath:
+    def test_insert_and_search(self):
+        rng = random.Random(1)
+        entries = random_entries(rng, 300)
+        tree = RTree(max_entries=8)
+        for e in entries:
+            tree.insert(e)
+        assert len(tree) == 300
+        tree.check_invariants()
+        window = MBR(0.2, 0.2, 0.5, 0.5)
+        got = {e.payload for e in tree.search(window)}
+        want = {e.payload for e in entries if e.mbr.intersects(window)}
+        assert got == want
+
+    def test_splits_happen(self):
+        rng = random.Random(2)
+        tree = RTree(max_entries=4)
+        for e in random_entries(rng, 100):
+            tree.insert(e)
+        assert tree.split_count > 0
+        assert tree.height() > 1
+
+    def test_min_fanout_validated(self):
+        with pytest.raises(ReproError):
+            RTree(max_entries=2)
+
+    def test_empty_tree_search(self):
+        tree = RTree()
+        assert list(tree.search(MBR(0, 0, 1, 1))) == []
+        assert tree.nearest(0.5, 0.5, 3) == []
+
+
+class TestBulkLoad:
+    def test_str_matches_linear_search(self):
+        rng = random.Random(3)
+        entries = random_entries(rng, 500)
+        tree = RTree.bulk_load(entries, max_entries=16)
+        assert len(tree) == 500
+        tree.check_invariants()
+        for _ in range(20):
+            x, y = rng.random(), rng.random()
+            window = MBR(x, y, min(1, x + 0.2), min(1, y + 0.2))
+            got = {e.payload for e in tree.search(window)}
+            want = {e.payload for e in entries if e.mbr.intersects(window)}
+            assert got == want
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.search(MBR(0, 0, 1, 1))) == []
+
+    def test_bulk_load_shallower_than_inserts(self):
+        rng = random.Random(4)
+        entries = random_entries(rng, 400)
+        bulk = RTree.bulk_load(entries, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for e in entries:
+            dynamic.insert(e)
+        assert bulk.height() <= dynamic.height()
+
+
+class TestNearest:
+    def test_nearest_order(self):
+        rng = random.Random(5)
+        entries = random_entries(rng, 200)
+        tree = RTree.bulk_load(entries)
+        got = tree.nearest(0.5, 0.5, 10)
+        dists = [e.mbr.distance_to_point(0.5, 0.5) for e in got]
+        assert dists == sorted(dists)
+        # Must match the true nearest set by distance.
+        all_sorted = sorted(
+            entries, key=lambda e: e.mbr.distance_to_point(0.5, 0.5)
+        )
+        assert dists[-1] <= all_sorted[10].mbr.distance_to_point(0.5, 0.5) + 1e-12
+
+    def test_nearest_limit(self):
+        rng = random.Random(6)
+        tree = RTree.bulk_load(random_entries(rng, 50))
+        assert len(tree.nearest(0.1, 0.1, 7)) == 7
+        assert len(tree.nearest(0.1, 0.1, 500)) == 50

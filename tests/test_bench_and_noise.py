@@ -1,0 +1,196 @@
+"""Tests for the bench harness, ASCII figures, and noise utilities."""
+
+import math
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.bench.figures import bar_chart, series_chart, sparkline
+from repro.bench.harness import QueryStats, run_threshold_workload, run_topk_workload
+from repro.bench.reporting import format_table
+from repro.data.noise import add_outliers, downsample, duplicate_pings, jitter
+from repro.exceptions import ReproError
+from repro.measures import discrete_frechet
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 200]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+        assert "1.5" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_bar_chart_scales(self):
+        text = bar_chart([("big", 10.0), ("small", 5.0)], width=10)
+        big_line, small_line = text.splitlines()
+        assert big_line.count("█") == 10
+        assert small_line.count("█") == 5
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], title="t") == "t"
+
+    def test_sparkline_shape(self):
+        assert sparkline([1, 2, 3]) == "▁▄█"
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+        assert sparkline([]) == ""
+
+    def test_series_chart_contains_names(self):
+        text = series_chart(["a", "b"], {"TraSS": [1, 2], "JUST": [4, 8]})
+        assert "TraSS" in text and "JUST" in text
+        assert "1 -> 2" in text
+
+
+class TestQueryStats:
+    def test_percentiles(self):
+        stats = QueryStats("sys", "lbl", times=[0.001 * i for i in range(1, 101)])
+        assert stats.median_ms == pytest.approx(50.5)
+        assert stats.p99_ms == pytest.approx(99.0)
+        assert stats.p99_ms >= stats.median_ms
+
+    def test_empty_stats_are_nan(self):
+        stats = QueryStats("sys", "lbl")
+        assert math.isnan(stats.median_ms)
+        assert math.isnan(stats.p99_ms)
+
+    def test_precision(self):
+        stats = QueryStats(
+            "sys", "lbl", candidates=[10, 10], answers=[5, 5]
+        )
+        assert stats.precision == pytest.approx(0.5)
+        assert QueryStats("s", "l").precision == 1.0
+
+    def test_workload_runners_fill_fields(self):
+        rng = random.Random(1)
+        data = [
+            Trajectory(
+                f"t{i}",
+                [(0.5 + rng.uniform(-0.01, 0.01), 0.5 + rng.uniform(-0.01, 0.01))
+                 for _ in range(4)],
+            )
+            for i in range(20)
+        ]
+        cfg = TraSSConfig(bounds=SpaceBounds(0, 0, 1, 1), max_resolution=8, shards=1)
+        engine = TraSS.build(data, cfg)
+        stats = run_threshold_workload(engine, data[:3], 0.05, "TraSS")
+        assert len(stats.times) == 3
+        assert stats.mean_answers >= 1
+        topk = run_topk_workload(engine, data[:2], 3, "TraSS")
+        assert len(topk.times) == 2
+
+
+class TestNoise:
+    @pytest.fixture
+    def base(self):
+        return Trajectory("base", [(0.1 * i, 0.05 * i) for i in range(20)])
+
+    def test_jitter_moves_points(self, base):
+        noisy = jitter(base, sigma=0.01, seed=1)
+        assert len(noisy) == len(base)
+        assert noisy.points != base.points
+        assert noisy.tid == "base_jit"
+
+    def test_jitter_zero_is_identity(self, base):
+        assert jitter(base, 0.0).points == base.points
+
+    def test_jitter_distance_tracks_sigma(self, base):
+        near = jitter(base, 0.001, seed=2)
+        far = jitter(base, 0.1, seed=2)
+        assert discrete_frechet(base.points, near.points) < discrete_frechet(
+            base.points, far.points
+        )
+
+    def test_downsample_keeps_endpoints(self, base):
+        sparse = downsample(base, 0.3, seed=3)
+        assert sparse.points[0] == base.points[0]
+        assert sparse.points[-1] == base.points[-1]
+        assert len(sparse) < len(base)
+
+    def test_downsample_validation(self, base):
+        with pytest.raises(ReproError):
+            downsample(base, 0.0)
+
+    def test_outliers_displace_interior(self, base):
+        spiky = add_outliers(base, count=3, magnitude=1.0, seed=4)
+        moved = sum(
+            1 for a, b in zip(base.points, spiky.points) if a != b
+        )
+        assert moved == 3
+        assert spiky.points[0] == base.points[0]
+        assert spiky.points[-1] == base.points[-1]
+
+    def test_duplicate_pings_lengthens(self, base):
+        dup = duplicate_pings(base, 1.0, seed=5)
+        assert len(dup) == 2 * len(base)
+        # Duplicates do not change the Fréchet distance to the base.
+        assert discrete_frechet(base.points, dup.points) == pytest.approx(0.0)
+
+
+class TestRobustnessEndToEnd:
+    def test_search_exact_on_corrupted_store(self):
+        """Corrupted trajectories are just different trajectories: the
+        engine must stay exact against brute force on them."""
+        rng = random.Random(6)
+        clean = [
+            Trajectory(
+                f"t{i}",
+                [
+                    (0.3 + 0.01 * j + rng.uniform(-0.002, 0.002),
+                     0.3 + 0.008 * j)
+                    for j in range(10)
+                ],
+            )
+            for i in range(30)
+        ]
+        corrupted = []
+        for i, t in enumerate(clean):
+            if i % 3 == 0:
+                corrupted.append(jitter(t, 0.002, seed=i, tid=t.tid))
+            elif i % 3 == 1:
+                corrupted.append(add_outliers(t, 2, 0.05, seed=i, tid=t.tid))
+            else:
+                corrupted.append(duplicate_pings(t, 0.3, seed=i, tid=t.tid))
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1), max_resolution=10, shards=2
+        )
+        engine = TraSS.build(corrupted, cfg)
+        q = corrupted[0]
+        got = set(engine.threshold_search(q, 0.04).answers)
+        want = {
+            t.tid
+            for t in corrupted
+            if discrete_frechet(q.points, t.points) <= 0.04
+        }
+        assert got == want
+
+    def test_noisy_query_degrades_gracefully(self):
+        """A jittered query's answer set shrinks/shifts with noise but
+        stays a subset of a widened search — no index blow-ups."""
+        rng = random.Random(7)
+        data = [
+            Trajectory(
+                f"t{i}",
+                [(0.5 + 0.01 * j, 0.5 + rng.uniform(-0.001, 0.001))
+                 for j in range(8)],
+            )
+            for i in range(20)
+        ]
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1), max_resolution=10, shards=2
+        )
+        engine = TraSS.build(data, cfg)
+        q = data[0]
+        noisy_q = jitter(q, 0.001, seed=8, tid="qn")
+        sigma_bound = discrete_frechet(q.points, noisy_q.points)
+        clean_hits = set(engine.threshold_search(q, 0.01).answers)
+        widened_hits = set(
+            engine.threshold_search(noisy_q, 0.01 + sigma_bound).answers
+        )
+        # Triangle inequality: everything within 0.01 of q is within
+        # 0.01 + d(q, noisy_q) of the noisy query.
+        assert clean_hits <= widened_hits

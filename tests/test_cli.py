@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.generators import tdrive_like
+from repro.data.io import save_csv
+
+
+@pytest.fixture(scope="module")
+def built_store(tmp_path_factory):
+    """A CSV and a store built from it via the CLI."""
+    root = tmp_path_factory.mktemp("cli")
+    csv_path = str(root / "data.csv")
+    store_path = str(root / "store")
+    data = tdrive_like(60, seed=41)
+    save_csv(csv_path, data)
+    code = main(
+        [
+            "build",
+            "--csv",
+            csv_path,
+            "--store",
+            store_path,
+            "--bounds",
+            "115.8",
+            "39.4",
+            "117.2",
+            "40.6",
+            "--resolution",
+            "12",
+            "--shards",
+            "2",
+        ]
+    )
+    assert code == 0
+    return csv_path, store_path, data
+
+
+class TestBuildAndInfo:
+    def test_info(self, built_store, capsys):
+        _, store_path, data = built_store
+        assert main(["info", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert f"trajectories:     {len(data)}" in out
+        assert "max resolution:   12" in out
+
+    def test_build_empty_csv_fails(self, tmp_path, capsys):
+        csv_path = tmp_path / "empty.csv"
+        csv_path.write_text("tid,x,y\n")
+        code = main(
+            ["build", "--csv", str(csv_path), "--store", str(tmp_path / "s")]
+        )
+        assert code == 1
+
+
+class TestQueries:
+    def test_threshold_by_tid(self, built_store, capsys):
+        _, store_path, data = built_store
+        tid = data[0].tid
+        code = main(
+            [
+                "threshold",
+                "--store",
+                store_path,
+                "--query-tid",
+                tid,
+                "--eps",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert tid in out  # the query always finds itself
+
+    def test_topk_by_tid(self, built_store, capsys):
+        _, store_path, data = built_store
+        tid = data[1].tid
+        code = main(
+            ["topk", "--store", store_path, "--query-tid", tid, "--k", "3"]
+        )
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 3
+        assert lines[0].startswith(tid)
+
+    def test_query_by_csv(self, built_store, tmp_path, capsys):
+        _, store_path, data = built_store
+        query_csv = str(tmp_path / "q.csv")
+        save_csv(query_csv, [data[2]])
+        code = main(
+            [
+                "threshold",
+                "--store",
+                store_path,
+                "--query-csv",
+                query_csv,
+                "--eps",
+                "0.005",
+            ]
+        )
+        assert code == 0
+        assert data[2].tid in capsys.readouterr().out
+
+    def test_range_query(self, built_store, capsys):
+        _, store_path, data = built_store
+        code = main(
+            [
+                "range",
+                "--store",
+                store_path,
+                "--window",
+                "115.8",
+                "39.4",
+                "117.2",
+                "40.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The window is the whole extent: every trajectory matches.
+        assert len(out.splitlines()) == len(data)
+
+    def test_unknown_tid_errors(self, built_store, capsys):
+        _, store_path, _ = built_store
+        code = main(
+            [
+                "threshold",
+                "--store",
+                store_path,
+                "--query-tid",
+                "ghost",
+                "--eps",
+                "0.01",
+            ]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_missing_query_errors(self, built_store):
+        _, store_path, _ = built_store
+        assert (
+            main(["topk", "--store", store_path, "--k", "3"]) == 2
+        )
+
+    def test_edr_measure_via_cli(self, built_store, capsys):
+        _, store_path, data = built_store
+        code = main(
+            [
+                "topk",
+                "--store",
+                store_path,
+                "--query-tid",
+                data[0].tid,
+                "--k",
+                "2",
+                "--measure",
+                "edr",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,116 @@
+"""Sorted bulk ingest equivalence and concurrent read safety."""
+
+import random
+import threading
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.measures import discrete_frechet
+
+BOUNDS = SpaceBounds(0, 0, 1, 1)
+
+
+def dataset(seed, n=120):
+    rng = random.Random(seed)
+    data = []
+    for i in range(n):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        pts = [(x, y)]
+        for _ in range(rng.randint(2, 15)):
+            x = min(0.99, max(0, x + rng.uniform(-0.01, 0.01)))
+            y = min(0.99, max(0, y + rng.uniform(-0.01, 0.01)))
+            pts.append((x, y))
+        data.append(Trajectory(f"t{i}", pts))
+    return data
+
+
+class TestSortedIngest:
+    def test_sorted_ingest_equivalent(self):
+        data = dataset(101)
+        cfg = TraSSConfig(bounds=BOUNDS, max_resolution=10, shards=3)
+        plain = TraSS.build(data, cfg)
+        sorted_engine = TraSS(cfg)
+        sorted_engine.add_all(data, sorted_ingest=True)
+
+        assert len(plain) == len(sorted_engine)
+        assert plain.store.value_histogram == sorted_engine.store.value_histogram
+        q = data[7]
+        a = set(plain.threshold_search(q, 0.03).answers)
+        b = set(sorted_engine.threshold_search(q, 0.03).answers)
+        assert a == b
+
+    def test_sorted_ingest_scan_order_identical(self):
+        data = dataset(102, 60)
+        cfg = TraSSConfig(bounds=BOUNDS, max_resolution=10, shards=2)
+        plain = TraSS.build(data, cfg)
+        sorted_engine = TraSS(cfg)
+        sorted_engine.add_all(data, sorted_ingest=True)
+        a = [k for k, _ in plain.store.table.full_scan()]
+        b = [k for k, _ in sorted_engine.store.table.full_scan()]
+        assert a == b
+
+
+class TestConcurrentReads:
+    def test_parallel_queries_are_correct(self):
+        """Read-only queries from many threads must all be exact.
+
+        The store is immutable during reads, so this checks there is no
+        hidden shared mutable state in the query path (e.g. the pruner
+        or filters leaking between queries).
+        """
+        data = dataset(103)
+        cfg = TraSSConfig(bounds=BOUNDS, max_resolution=10, shards=2)
+        engine = TraSS.build(data, cfg)
+        eps = 0.04
+        queries = data[:12]
+        expected = {
+            q.tid: {
+                t.tid
+                for t in data
+                if discrete_frechet(q.points, t.points) <= eps
+            }
+            for q in queries
+        }
+
+        failures = []
+
+        def worker(query):
+            try:
+                got = set(engine.threshold_search(query, eps).answers)
+                if got != expected[query.tid]:
+                    failures.append((query.tid, got))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append((query.tid, repr(exc)))
+
+        threads = [
+            threading.Thread(target=worker, args=(q,)) for q in queries
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+
+    def test_parallel_topk(self):
+        data = dataset(104, 80)
+        cfg = TraSSConfig(bounds=BOUNDS, max_resolution=10, shards=2)
+        engine = TraSS.build(data, cfg)
+        results = {}
+
+        def worker(idx):
+            results[idx] = engine.topk_search(data[idx], 5).answers
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for idx, answers in results.items():
+            want = sorted(
+                (discrete_frechet(data[idx].points, t.points), t.tid)
+                for t in data
+            )[:5]
+            assert [round(d, 9) for d, _ in answers] == [
+                round(d, 9) for d, _ in want
+            ]

@@ -1,0 +1,69 @@
+"""Unit tests for row-value serialisation."""
+
+import random
+
+import pytest
+
+from repro.core.codec import decode_row, encode_row
+from repro.exceptions import KVStoreError
+from repro.features.dp_features import extract_dp_features
+
+
+def roundtrip(points, theta=0.01, tid="t"):
+    features = extract_dp_features(points, theta)
+    blob = encode_row(tid, points, features)
+    return blob, decode_row(blob)
+
+
+class TestCodec:
+    def test_roundtrip_simple(self):
+        points = [(0.0, 0.0), (1.0, 0.5), (2.0, 0.25)]
+        blob, (tid, got_points, features) = roundtrip(points, tid="abc")
+        assert tid == "abc"
+        assert got_points == points
+
+    def test_roundtrip_preserves_features(self):
+        rng = random.Random(1)
+        points = [(rng.random(), rng.random()) for _ in range(40)]
+        original = extract_dp_features(points, 0.05)
+        blob = encode_row("x", points, original)
+        _, _, restored = decode_row(blob)
+        assert restored.rep_indexes == original.rep_indexes
+        assert restored.rep_points == original.rep_points
+        assert len(restored.boxes) == len(original.boxes)
+        for a, b in zip(restored.boxes, original.boxes):
+            assert a.anchor == b.anchor
+            assert a.axis == pytest.approx(b.axis)
+            assert a.length == pytest.approx(b.length)
+
+    def test_roundtrip_single_point(self):
+        points = [(116.5, 39.9)]
+        _, (tid, got, features) = roundtrip(points)
+        assert got == points
+        assert features.num_boxes == 1
+
+    def test_unicode_tid(self):
+        points = [(0.0, 0.0), (1.0, 1.0)]
+        features = extract_dp_features(points, 0.01)
+        blob = encode_row("货车-42", points, features)
+        tid, _, _ = decode_row(blob)
+        assert tid == "货车-42"
+
+    def test_empty_points_rejected(self):
+        features = extract_dp_features([(0, 0)], 0.01)
+        with pytest.raises(KVStoreError):
+            encode_row("t", [], features)
+
+    def test_truncated_blob_rejected(self):
+        blob, _ = roundtrip([(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(KVStoreError):
+            decode_row(blob[: len(blob) - 3])
+
+    def test_trailing_garbage_rejected(self):
+        blob, _ = roundtrip([(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(KVStoreError):
+            decode_row(blob + b"junk")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(KVStoreError):
+            decode_row(b"\xff" * 7)

@@ -1,0 +1,155 @@
+"""Tests for dataset generators, workloads and CSV I/O."""
+
+import pytest
+
+from repro.data import (
+    LORRY_BOUNDS,
+    TDRIVE_BOUNDS,
+    dataset_names,
+    load_csv,
+    load_dataset,
+    lorry_like,
+    random_walks,
+    sample_queries,
+    save_csv,
+    scaled,
+    tdrive_like,
+)
+from repro.exceptions import ReproError
+from repro.geometry.trajectory import Trajectory
+
+
+class TestGenerators:
+    def test_tdrive_deterministic(self):
+        a = tdrive_like(50, seed=3)
+        b = tdrive_like(50, seed=3)
+        assert [t.points for t in a] == [t.points for t in b]
+        assert tdrive_like(50, seed=4)[0].points != a[0].points
+
+    def test_tdrive_within_bounds(self):
+        for t in tdrive_like(100, seed=1):
+            for x, y in t.points:
+                assert TDRIVE_BOUNDS.contains(x, y)
+
+    def test_tdrive_has_stationary_taxis(self):
+        """The Figure 12(a) peak depends on waiting taxis existing."""
+        data = tdrive_like(300, seed=2, stationary_fraction=0.1)
+        stationary = [t for t in data if t.is_stationary()]
+        assert len(stationary) > 10
+
+    def test_tdrive_stationary_fraction_zero(self):
+        data = tdrive_like(100, seed=2, stationary_fraction=0.0)
+        assert not any(t.is_stationary() for t in data)
+
+    def test_lorry_spans_more_than_tdrive(self):
+        """The paper's point: Lorry covers a country, T-Drive a city."""
+        taxis = tdrive_like(100, seed=5)
+        lorries = lorry_like(100, seed=5)
+        taxi_span = max(max(t.mbr.width, t.mbr.height) for t in taxis)
+        lorry_span = max(max(t.mbr.width, t.mbr.height) for t in lorries)
+        assert lorry_span > 3 * taxi_span
+
+    def test_lorry_within_bounds(self):
+        for t in lorry_like(50, seed=6):
+            for x, y in t.points:
+                assert LORRY_BOUNDS.contains(x, y)
+
+    def test_random_walks_count_and_ids(self):
+        walks = random_walks(20, TDRIVE_BOUNDS, seed=7, tid_prefix="z")
+        assert len(walks) == 20
+        assert walks[0].tid == "z0"
+        assert len({t.tid for t in walks}) == 20
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            random_walks(-1, TDRIVE_BOUNDS)
+
+
+class TestScaled:
+    def test_scaling_counts(self):
+        base = tdrive_like(30, seed=8)
+        assert len(scaled(base, 1)) == 30
+        assert len(scaled(base, 4)) == 120
+
+    def test_copies_get_fresh_ids(self):
+        base = tdrive_like(10, seed=9)
+        out = scaled(base, 3)
+        assert len({t.tid for t in out}) == 30
+
+    def test_copies_are_jittered(self):
+        base = tdrive_like(5, seed=10)
+        out = scaled(base, 2, jitter=0.05)
+        copy = out[len(base)]
+        assert copy.points != base[0].points
+        # Same shape: jitter is a pure translation.
+        dx = copy.points[0][0] - base[0].points[0][0]
+        assert copy.points[-1][0] - base[0].points[-1][0] == pytest.approx(dx)
+
+    def test_invalid_times(self):
+        with pytest.raises(ReproError):
+            scaled(tdrive_like(3, seed=1), 0)
+
+
+class TestDatasets:
+    def test_names(self):
+        assert dataset_names() == ("lorry", "tdrive")
+
+    def test_load(self):
+        ds = load_dataset("tdrive", size=40, seed=1)
+        assert len(ds) == 40
+        assert ds.bounds == TDRIVE_BOUNDS
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            load_dataset("geolife")
+
+
+class TestWorkload:
+    def test_sample_size(self):
+        data = tdrive_like(100, seed=11)
+        queries = sample_queries(data, 10, seed=1)
+        assert len(queries) == 10
+
+    def test_deterministic(self):
+        data = tdrive_like(100, seed=11)
+        a = sample_queries(data, 10, seed=1)
+        b = sample_queries(data, 10, seed=1)
+        assert [q.tid for q in a] == [q.tid for q in b]
+
+    def test_min_points_respected(self):
+        data = [Trajectory("single", [(0, 0)])] + tdrive_like(20, seed=12)
+        queries = sample_queries(data, 25, min_points=2)
+        assert all(len(q) >= 2 for q in queries)
+
+    def test_count_larger_than_population(self):
+        data = tdrive_like(5, seed=13)
+        assert len(sample_queries(data, 50)) <= 5
+
+    def test_invalid_count(self):
+        with pytest.raises(ReproError):
+            sample_queries(tdrive_like(5, seed=1), 0)
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        data = tdrive_like(15, seed=14)
+        path = str(tmp_path / "out.csv")
+        rows = save_csv(path, data)
+        assert rows == sum(len(t) for t in data)
+        loaded = load_csv(path)
+        assert len(loaded) == len(data)
+        for a, b in zip(loaded, data):
+            assert a.tid == b.tid
+            assert a.points == b.points
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n1,2,3\n")
+        with pytest.raises(ReproError):
+            load_csv(str(path))
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("tid,x,y\nt1,notanumber,2\n")
+        with pytest.raises(ReproError):
+            load_csv(str(path))

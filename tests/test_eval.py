@@ -1,0 +1,153 @@
+"""Tests for the declarative experiment runner."""
+
+import math
+
+import pytest
+
+from repro import TraSS, TraSSConfig, SpaceBounds
+from repro.baselines import BruteForceBaseline
+from repro.eval import (
+    DatasetSpec,
+    ExperimentSpec,
+    SweepAxis,
+    SystemSpec,
+    load_result,
+    render_result,
+    run_experiment,
+    save_result,
+)
+from repro.exceptions import QueryError, ReproError
+
+
+def tiny_trass():
+    return TraSS(
+        TraSSConfig(
+            bounds=SpaceBounds.whole_earth(),
+            max_resolution=12,
+            dp_tolerance=0.01,
+            shards=2,
+        )
+    )
+
+
+def tiny_spec(query_type="threshold", systems=None):
+    sweep = (
+        SweepAxis("eps", (0.005, 0.02))
+        if query_type == "threshold"
+        else SweepAxis("k", (2, 5))
+    )
+    return ExperimentSpec(
+        name="tiny",
+        dataset=DatasetSpec("tdrive", size=60, seed=5, num_queries=3),
+        systems=systems
+        or (
+            SystemSpec("TraSS", tiny_trass),
+            SystemSpec("Brute", BruteForceBaseline),
+        ),
+        query_type=query_type,
+        sweep=sweep,
+    )
+
+
+class TestSpecValidation:
+    def test_bad_query_type(self):
+        with pytest.raises(QueryError):
+            ExperimentSpec(
+                name="x",
+                dataset=DatasetSpec("tdrive", 10),
+                systems=(SystemSpec("a", tiny_trass),),
+                query_type="knn",
+                sweep=SweepAxis("eps", (1.0,)),
+            )
+
+    def test_sweep_parameter_must_match(self):
+        with pytest.raises(QueryError):
+            tiny_spec_bad = ExperimentSpec(
+                name="x",
+                dataset=DatasetSpec("tdrive", 10),
+                systems=(SystemSpec("a", tiny_trass),),
+                query_type="threshold",
+                sweep=SweepAxis("k", (5,)),
+            )
+
+    def test_empty_sweep(self):
+        with pytest.raises(QueryError):
+            SweepAxis("eps", ())
+
+    def test_empty_systems(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec(
+                name="x",
+                dataset=DatasetSpec("tdrive", 10),
+                systems=(),
+                query_type="threshold",
+                sweep=SweepAxis("eps", (1.0,)),
+            )
+
+    def test_bad_dataset_size(self):
+        with pytest.raises(ReproError):
+            DatasetSpec("tdrive", size=0)
+
+
+class TestRunner:
+    def test_threshold_experiment(self):
+        result = run_experiment(tiny_spec())
+        assert result.systems() == ["TraSS", "Brute"]
+        assert result.sweep_values() == [0.005, 0.02]
+        assert len(result.records) == 4
+        assert set(result.build_seconds) == {"TraSS", "Brute"}
+        for record in result.records:
+            assert record.median_ms >= 0
+            assert record.mean_candidates >= 0
+
+    def test_systems_agree_on_answers(self):
+        result = run_experiment(tiny_spec())
+        for value in result.sweep_values():
+            answers = {
+                r.system: r.mean_answers
+                for r in result.records
+                if r.value == value
+            }
+            assert answers["TraSS"] == pytest.approx(answers["Brute"])
+
+    def test_topk_experiment(self):
+        result = run_experiment(tiny_spec(query_type="topk"))
+        assert len(result.records) == 4
+        for record in result.records:
+            assert record.mean_answers == record.value  # k answers each
+
+    def test_progress_callback(self):
+        lines = []
+        run_experiment(tiny_spec(), progress=lines.append)
+        assert any("building TraSS" in line for line in lines)
+
+
+class TestReport:
+    def test_render_contains_table_and_trend(self):
+        result = run_experiment(tiny_spec())
+        text = render_result(result)
+        assert "tiny: median_ms" in text
+        assert "trend:" in text
+        assert "ingestion:" in text
+        assert "TraSS" in text and "Brute" in text
+
+    def test_render_unknown_metric(self):
+        result = run_experiment(tiny_spec())
+        with pytest.raises(ReproError):
+            render_result(result, metric="latency")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        result = run_experiment(tiny_spec())
+        path = str(tmp_path / "result.json")
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.name == result.name
+        assert restored.build_seconds == pytest.approx(result.build_seconds)
+        assert len(restored.records) == len(result.records)
+        assert restored.records[0] == result.records[0]
+
+    def test_load_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(ReproError):
+            load_result(str(path))

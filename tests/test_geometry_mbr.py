@@ -1,0 +1,132 @@
+"""Unit tests for repro.geometry.mbr."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_valid(self):
+        box = MBR(0, 0, 2, 3)
+        assert box.width == 2
+        assert box.height == 3
+        assert box.area == 6
+
+    def test_degenerate_point_mbr_is_legal(self):
+        box = MBR(1, 1, 1, 1)
+        assert box.width == 0
+        assert box.area == 0
+
+    def test_inverted_raises(self):
+        with pytest.raises(GeometryError):
+            MBR(2, 0, 1, 1)
+        with pytest.raises(GeometryError):
+            MBR(0, 2, 1, 1)
+
+    def test_of_points(self):
+        box = MBR.of_points([(1, 5), (3, 2), (2, 4)])
+        assert box == MBR(1, 2, 3, 5)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            MBR.of_points([])
+
+    def test_union_all(self):
+        box = MBR.union_all([MBR(0, 0, 1, 1), MBR(2, 2, 3, 3)])
+        assert box == MBR(0, 0, 3, 3)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            MBR.union_all([])
+
+
+class TestGeometry:
+    def test_center(self):
+        assert MBR(0, 0, 2, 4).center == Point(1, 2)
+
+    def test_corners_order(self):
+        ll, lr, ur, ul = MBR(0, 0, 1, 2).corners()
+        assert ll == Point(0, 0)
+        assert lr == Point(1, 0)
+        assert ur == Point(1, 2)
+        assert ul == Point(0, 2)
+
+    def test_edges_cover_perimeter(self):
+        box = MBR(0, 0, 2, 2)
+        edges = box.edges()
+        assert len(edges) == 4
+        total = sum(a.distance(b) for a, b in edges)
+        assert total == pytest.approx(8.0)
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        box = MBR(0, 0, 1, 1)
+        assert box.contains_point(0, 0)
+        assert box.contains_point(1, 1)
+        assert box.contains_point(0.5, 0.5)
+        assert not box.contains_point(1.0001, 0.5)
+
+    def test_contains_rect(self):
+        assert MBR(0, 0, 4, 4).contains(MBR(1, 1, 2, 2))
+        assert MBR(0, 0, 4, 4).contains(MBR(0, 0, 4, 4))
+        assert not MBR(0, 0, 4, 4).contains(MBR(3, 3, 5, 5))
+
+    def test_intersects(self):
+        assert MBR(0, 0, 2, 2).intersects(MBR(1, 1, 3, 3))
+        assert MBR(0, 0, 2, 2).intersects(MBR(2, 2, 3, 3))  # touching
+        assert not MBR(0, 0, 1, 1).intersects(MBR(2, 2, 3, 3))
+
+    def test_intersects_symmetric(self):
+        a, b = MBR(0, 0, 2, 2), MBR(1.5, -1, 5, 0.5)
+        assert a.intersects(b) == b.intersects(a) is True
+
+
+class TestDerived:
+    def test_expanded(self):
+        assert MBR(1, 1, 2, 2).expanded(0.5) == MBR(0.5, 0.5, 2.5, 2.5)
+
+    def test_expanded_zero_is_identity(self):
+        box = MBR(1, 2, 3, 4)
+        assert box.expanded(0.0) == box
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(GeometryError):
+            MBR(0, 0, 1, 1).expanded(-0.1)
+
+    def test_intersection(self):
+        got = MBR(0, 0, 2, 2).intersection(MBR(1, 1, 3, 3))
+        assert got == MBR(1, 1, 2, 2)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            MBR(0, 0, 1, 1).intersection(MBR(2, 2, 3, 3))
+
+    def test_union(self):
+        assert MBR(0, 0, 1, 1).union(MBR(2, 2, 3, 3)) == MBR(0, 0, 3, 3)
+
+
+class TestDistances:
+    def test_distance_to_point_inside_is_zero(self):
+        assert MBR(0, 0, 2, 2).distance_to_point(1, 1) == 0.0
+
+    def test_distance_to_point_axis(self):
+        assert MBR(0, 0, 1, 1).distance_to_point(3, 0.5) == pytest.approx(2.0)
+
+    def test_distance_to_point_corner(self):
+        assert MBR(0, 0, 1, 1).distance_to_point(4, 5) == pytest.approx(5.0)
+
+    def test_distance_to_rect_overlap_is_zero(self):
+        assert MBR(0, 0, 2, 2).distance_to_rect(MBR(1, 1, 3, 3)) == 0.0
+
+    def test_distance_to_rect_diagonal(self):
+        d = MBR(0, 0, 1, 1).distance_to_rect(MBR(4, 5, 6, 7))
+        assert d == pytest.approx(5.0)
+
+    def test_max_distance_to_point(self):
+        d = MBR(0, 0, 1, 1).max_distance_to_point(0, 0)
+        assert d == pytest.approx(math.sqrt(2))

@@ -1,0 +1,52 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestPoint:
+    def test_named_fields(self):
+        p = Point(1.5, -2.0)
+        assert p.x == 1.5
+        assert p.y == -2.0
+
+    def test_tuple_compatibility(self):
+        p = Point(3.0, 4.0)
+        x, y = p
+        assert (x, y) == (3.0, 4.0)
+        assert p == (3.0, 4.0)
+        assert p[0] == 3.0
+
+    def test_distance(self):
+        assert Point(0, 0).distance(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.2, 3.4), Point(-0.7, 2.2)
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(0.123, 0.456)
+        assert p.distance(p) == 0.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(1.0, 2.0), Point(4.5, -1.25)
+        assert a.squared_distance(b) == pytest.approx(a.distance(b) ** 2)
+
+    def test_translated(self):
+        p = Point(1.0, 2.0).translated(0.5, -1.0)
+        assert p == Point(1.5, 1.0)
+
+    def test_translated_returns_new_point(self):
+        p = Point(0.0, 0.0)
+        q = p.translated(1.0, 1.0)
+        assert p == Point(0.0, 0.0)
+        assert q != p
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2

@@ -1,0 +1,56 @@
+"""Unit tests for SpaceBounds normalisation."""
+
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.mbr import MBR
+from repro.index.bounds import SpaceBounds
+
+
+class TestSpaceBounds:
+    def test_whole_earth_default(self):
+        earth = SpaceBounds.whole_earth()
+        assert earth.min_x == -180.0
+        assert earth.max_y == 90.0
+        assert earth.width == 360.0
+        assert earth.height == 180.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            SpaceBounds(0, 0, 0, 1)
+        with pytest.raises(GeometryError):
+            SpaceBounds(0, 5, 1, 5)
+
+    def test_normalize_corners(self):
+        b = SpaceBounds(10, 20, 30, 40)
+        assert b.normalize(10, 20) == (0.0, 0.0)
+        assert b.normalize(30, 40) == (1.0, 1.0)
+        assert b.normalize(20, 30) == (0.5, 0.5)
+
+    def test_normalize_clamps(self):
+        b = SpaceBounds(0, 0, 1, 1)
+        assert b.normalize(-5, 2) == (0.0, 1.0)
+
+    def test_denormalize_roundtrip(self):
+        b = SpaceBounds(-180, -90, 180, 90)
+        for x, y in [(0, 0), (116.4, 39.9), (-73.9, 40.7)]:
+            nx, ny = b.normalize(x, y)
+            rx, ry = b.denormalize(nx, ny)
+            assert rx == pytest.approx(x)
+            assert ry == pytest.approx(y)
+
+    def test_normalize_mbr(self):
+        b = SpaceBounds(0, 0, 10, 10)
+        assert b.normalize_mbr(MBR(0, 0, 5, 10)) == MBR(0, 0, 0.5, 1.0)
+
+    def test_normalize_length_conservative(self):
+        """Length conversion uses the smaller extent so normalised
+        thresholds can only grow — pruning windows widen, never shrink."""
+        b = SpaceBounds(0, 0, 10, 2)
+        assert b.normalize_length(1.0) == pytest.approx(0.5)
+
+    def test_contains(self):
+        b = SpaceBounds(0, 0, 1, 1)
+        assert b.contains(0.5, 0.5)
+        assert b.contains(1.0, 1.0)
+        assert not b.contains(1.1, 0.5)

@@ -1,0 +1,165 @@
+"""Unit tests for quadrant sequences and enlarged elements (Lemmas 1-2)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import IndexingError
+from repro.geometry.mbr import MBR
+from repro.index.quadrant import (
+    ROOT,
+    Element,
+    smallest_enlarged_element,
+)
+
+
+class TestElement:
+    def test_root(self):
+        assert ROOT.level == 0
+        assert ROOT.sequence == ()
+        assert ROOT.cell_mbr() == MBR(0, 0, 1, 1)
+        assert ROOT.enlarged_mbr() == MBR(0, 0, 2, 2)
+
+    def test_sequence_roundtrip(self):
+        for s in ["0", "3", "03", "311", "2013", "00000"]:
+            e = Element.from_sequence_str(s)
+            assert e.sequence_str == s
+            assert e.level == len(s)
+
+    def test_digit_convention(self):
+        # 0 = (left, bottom), 1 = (left, top), 2 = (right, bottom),
+        # 3 = (right, top) — the reversed-Z of Figure 3(a).
+        assert Element.from_sequence((0,)) == Element(1, 0, 0)
+        assert Element.from_sequence((1,)) == Element(1, 0, 1)
+        assert Element.from_sequence((2,)) == Element(1, 1, 0)
+        assert Element.from_sequence((3,)) == Element(1, 1, 1)
+
+    def test_invalid_digit(self):
+        with pytest.raises(IndexingError):
+            Element.from_sequence((4,))
+
+    def test_out_of_range_cell(self):
+        with pytest.raises(IndexingError):
+            Element(1, 2, 0)
+
+    def test_cell_mbr(self):
+        e = Element.from_sequence_str("03")
+        # '0' -> left-bottom half, '3' -> its right-top quarter.
+        assert e.cell_mbr() == MBR(0.25, 0.25, 0.5, 0.5)
+
+    def test_enlarged_doubles_toward_upper_right(self):
+        e = Element.from_sequence_str("03")
+        assert e.enlarged_mbr() == MBR(0.25, 0.25, 0.75, 0.75)
+
+    def test_enlarged_may_overhang_unit_square(self):
+        e = Element.from_sequence_str("3")
+        assert e.enlarged_mbr() == MBR(0.5, 0.5, 1.5, 1.5)
+
+    def test_children_digit_order(self):
+        kids = Element.from_sequence_str("2").children()
+        assert [k.sequence_str for k in kids] == ["20", "21", "22", "23"]
+
+    def test_child_parent_roundtrip(self):
+        e = Element.from_sequence_str("031")
+        for q in range(4):
+            assert e.child(q).parent() == e
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(IndexingError):
+            ROOT.parent()
+
+    def test_ancestors(self):
+        e = Element.from_sequence_str("031")
+        chain = [a.sequence_str for a in e.ancestors()]
+        assert chain == ["03", "0", ""]
+
+    def test_is_ancestor_of(self):
+        a = Element.from_sequence_str("0")
+        b = Element.from_sequence_str("031")
+        assert a.is_ancestor_of(b)
+        assert ROOT.is_ancestor_of(b)
+        assert not b.is_ancestor_of(a)
+        assert not Element.from_sequence_str("1").is_ancestor_of(b)
+
+
+class TestSmallestEnlargedElement:
+    def test_covers_input(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            x1, y1 = rng.random() * 0.9, rng.random() * 0.9
+            w = rng.random() * (1 - x1) * 0.5
+            h = rng.random() * (1 - y1) * 0.5
+            mbr = MBR(x1, y1, x1 + w, y1 + h)
+            e = smallest_enlarged_element(mbr, 16)
+            assert e.enlarged_mbr().contains(mbr), (mbr, e)
+
+    def test_is_smallest(self):
+        """No deeper element anchored at the lower-left corner's cell
+        also covers the MBR (Lemma 1: only l and l+1 are candidates)."""
+        rng = random.Random(2)
+        for _ in range(300):
+            x1, y1 = rng.random() * 0.9, rng.random() * 0.9
+            w = rng.random() * (1 - x1) * 0.5
+            h = rng.random() * (1 - y1) * 0.5
+            mbr = MBR(x1, y1, x1 + w, y1 + h)
+            e = smallest_enlarged_element(mbr, 16)
+            if e.level < 16:
+                side = 1 << (e.level + 1)
+                cx = min(int(mbr.min_x * side), side - 1)
+                cy = min(int(mbr.min_y * side), side - 1)
+                deeper = Element(e.level + 1, cx, cy)
+                assert not deeper.enlarged_mbr().contains(mbr)
+
+    def test_anchored_at_lower_left_cell(self):
+        mbr = MBR(0.3, 0.3, 0.45, 0.4)
+        e = smallest_enlarged_element(mbr, 16)
+        cell = e.cell_mbr()
+        assert cell.contains_point(mbr.min_x, mbr.min_y)
+
+    def test_degenerate_mbr_maps_to_max_resolution(self):
+        mbr = MBR(0.5, 0.5, 0.5, 0.5)
+        e = smallest_enlarged_element(mbr, 16)
+        assert e.level == 16
+        assert e.enlarged_mbr().contains(mbr)
+
+    def test_full_space_fits_in_element_zero(self):
+        # The enlarged element of '0' is exactly [0,1]^2, so even the
+        # full-space MBR has a level-1 smallest enlarged element.
+        e = smallest_enlarged_element(MBR(0, 0, 1, 1), 16)
+        assert e == Element(1, 0, 0)
+        assert e.enlarged_mbr().contains(MBR(0, 0, 1, 1))
+
+    def test_level_one_always_suffices_in_bounds(self):
+        # Level-1 enlarged elements cover [0,1]x[0,1] (left half) or
+        # [0.5,1.5]x... (right half), so every in-bounds MBR fits at
+        # level >= 1 — the reason the paper never needs length-0
+        # sequences for real data.
+        rng = random.Random(8)
+        for _ in range(100):
+            x1, y1 = rng.random(), rng.random()
+            x2 = rng.uniform(x1, 1.0)
+            y2 = rng.uniform(y1, 1.0)
+            e = smallest_enlarged_element(MBR(x1, y1, x2, y2), 16)
+            assert e.level >= 1
+
+    def test_boundary_point_at_one(self):
+        mbr = MBR(1.0, 1.0, 1.0, 1.0)
+        e = smallest_enlarged_element(mbr, 8)
+        assert e.enlarged_mbr().contains(mbr)
+
+    def test_max_resolution_validated(self):
+        with pytest.raises(IndexingError):
+            smallest_enlarged_element(MBR(0, 0, 1, 1), 0)
+
+    def test_paper_size_rule(self):
+        """An MBR with max dimension in (2^-(l+1), 2^-l] lands at level
+        l or l+1 (Lemma 1)."""
+        rng = random.Random(3)
+        for _ in range(200):
+            level = rng.randint(1, 10)
+            dim = rng.uniform(0.5 ** (level + 1) * 1.001, 0.5**level * 0.999)
+            x1 = rng.random() * (1 - dim)
+            y1 = rng.random() * (1 - dim)
+            mbr = MBR(x1, y1, x1 + dim, y1 + dim)
+            e = smallest_enlarged_element(mbr, 16)
+            assert e.level in (level, level + 1), (dim, level, e.level)

@@ -1,0 +1,75 @@
+"""Unit tests for index-value range merging."""
+
+import pytest
+
+from repro.index.ranges import (
+    IndexRange,
+    merge_ranges,
+    merge_values_to_ranges,
+    total_span,
+)
+
+
+class TestIndexRange:
+    def test_basic(self):
+        r = IndexRange(3, 7)
+        assert len(r) == 4
+        assert r.contains(3)
+        assert r.contains(6)
+        assert not r.contains(7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            IndexRange(3, 3)
+        with pytest.raises(ValueError):
+            IndexRange(5, 2)
+
+    def test_overlaps_and_touches(self):
+        assert IndexRange(0, 5).overlaps(IndexRange(4, 8))
+        assert not IndexRange(0, 5).overlaps(IndexRange(5, 8))
+        assert IndexRange(0, 5).touches(IndexRange(5, 8))
+        assert not IndexRange(0, 5).touches(IndexRange(6, 8))
+
+
+class TestMergeValues:
+    def test_empty(self):
+        assert merge_values_to_ranges([]) == []
+
+    def test_single_run(self):
+        assert merge_values_to_ranges([1, 2, 3]) == [IndexRange(1, 4)]
+
+    def test_unsorted_with_duplicates(self):
+        got = merge_values_to_ranges([5, 1, 2, 5, 2])
+        assert got == [IndexRange(1, 3), IndexRange(5, 6)]
+
+    def test_two_runs(self):
+        got = merge_values_to_ranges([1, 2, 10, 11])
+        assert got == [IndexRange(1, 3), IndexRange(10, 12)]
+
+    def test_gap_bridging(self):
+        # A gap of one value is bridged when gap=1.
+        got = merge_values_to_ranges([1, 3], gap=1)
+        assert got == [IndexRange(1, 4)]
+        got = merge_values_to_ranges([1, 4], gap=1)
+        assert got == [IndexRange(1, 2), IndexRange(4, 5)]
+
+
+class TestMergeRanges:
+    def test_disjoint_stay_separate(self):
+        rs = [IndexRange(10, 12), IndexRange(0, 2)]
+        assert merge_ranges(rs) == [IndexRange(0, 2), IndexRange(10, 12)]
+
+    def test_overlapping_merge(self):
+        rs = [IndexRange(0, 5), IndexRange(3, 9), IndexRange(9, 10)]
+        assert merge_ranges(rs) == [IndexRange(0, 10)]
+
+    def test_contained_absorbed(self):
+        rs = [IndexRange(0, 10), IndexRange(2, 3)]
+        assert merge_ranges(rs) == [IndexRange(0, 10)]
+
+    def test_empty(self):
+        assert merge_ranges([]) == []
+
+    def test_total_span(self):
+        rs = [IndexRange(0, 5), IndexRange(3, 8), IndexRange(20, 21)]
+        assert total_span(rs) == 9

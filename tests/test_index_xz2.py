@@ -1,0 +1,101 @@
+"""Unit tests for the XZ-Ordering (XZ2) baseline index."""
+
+import random
+
+import pytest
+
+from repro.exceptions import EncodingError, IndexingError
+from repro.geometry.mbr import MBR
+from repro.geometry.trajectory import Trajectory
+from repro.index.bounds import SpaceBounds
+from repro.index.quadrant import ROOT, Element
+from repro.index.xz2 import XZ2Index
+
+UNIT = SpaceBounds(0, 0, 1, 1)
+
+
+class TestEncoding:
+    def test_depth_first_layout_r2(self):
+        ix = XZ2Index(max_resolution=2, bounds=UNIT)
+        # '0'=0, '00'=1, '01'=2, '02'=3, '03'=4, '1'=5, ...
+        assert ix.value(Element.from_sequence_str("0")) == 0
+        assert ix.value(Element.from_sequence_str("00")) == 1
+        assert ix.value(Element.from_sequence_str("03")) == 4
+        assert ix.value(Element.from_sequence_str("1")) == 5
+        assert ix.value(Element.from_sequence_str("33")) == 19
+
+    def test_bijection_exhaustive(self):
+        ix = XZ2Index(max_resolution=4, bounds=UNIT)
+        for v in range(ix.total_elements):
+            element = ix.decode(v)
+            assert ix.value(element) == v
+
+    def test_root_tail_value(self):
+        ix = XZ2Index(max_resolution=3, bounds=UNIT)
+        assert ix.value(ROOT) == ix.root_block_start
+        assert ix.decode(ix.root_block_start) == ROOT
+
+    def test_decode_out_of_range(self):
+        ix = XZ2Index(max_resolution=2, bounds=UNIT)
+        with pytest.raises(EncodingError):
+            ix.decode(ix.total_elements)
+
+    def test_subtree_span(self):
+        ix = XZ2Index(max_resolution=4, bounds=UNIT)
+        e = Element.from_sequence_str("2")
+        lo, hi = ix.subtree_span(e)
+        assert lo <= ix.value(Element.from_sequence_str("2313")) < hi
+        assert not lo <= ix.value(Element.from_sequence_str("3")) < hi
+
+    def test_sampled_roundtrip_r16(self):
+        ix = XZ2Index(max_resolution=16, bounds=UNIT)
+        rng = random.Random(2)
+        for _ in range(1000):
+            v = rng.randrange(ix.total_elements)
+            assert ix.value(ix.decode(v)) == v
+
+
+class TestIndexingAndWindow:
+    def test_place_matches_xzstar_element(self):
+        """XZ2 and XZ* agree on the enlarged element (same Lemmas 1-2)."""
+        from repro.index.xzstar import XZStarIndex
+
+        xz2 = XZ2Index(max_resolution=10, bounds=UNIT)
+        xzs = XZStarIndex(max_resolution=10, bounds=UNIT)
+        rng = random.Random(3)
+        for i in range(100):
+            x, y = rng.random() * 0.8, rng.random() * 0.8
+            pts = [
+                (x + rng.uniform(0, 0.1), y + rng.uniform(0, 0.1))
+                for _ in range(4)
+            ]
+            t = Trajectory(f"t{i}", pts)
+            assert xz2.place(t) == xzs.place(t)[0]
+
+    def test_window_ranges_cover_intersecting_elements(self):
+        ix = XZ2Index(max_resolution=8, bounds=UNIT)
+        rng = random.Random(4)
+        window = MBR(0.4, 0.4, 0.5, 0.5)
+        ranges = ix.window_ranges(window)
+        covered = lambda v: any(r.contains(v) for r in ranges)
+        for i in range(200):
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            pts = [
+                (x + rng.uniform(0, 0.08), y + rng.uniform(0, 0.08))
+                for _ in range(4)
+            ]
+            t = Trajectory(f"t{i}", pts)
+            if t.mbr.intersects(window):
+                # A trajectory intersecting the window lives in an
+                # element whose enlarged element intersects it too.
+                assert covered(ix.index(t).value), t.tid
+
+    def test_window_ranges_smaller_for_smaller_window(self):
+        ix = XZ2Index(max_resolution=8, bounds=UNIT)
+        small = ix.window_ranges(MBR(0.4, 0.4, 0.41, 0.41))
+        big = ix.window_ranges(MBR(0.1, 0.1, 0.9, 0.9))
+        assert sum(len(r) for r in small) < sum(len(r) for r in big)
+
+    def test_resolution_validation(self):
+        with pytest.raises(IndexingError):
+            XZ2Index(max_resolution=0)

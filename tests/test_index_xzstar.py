@@ -1,0 +1,213 @@
+"""Unit tests for the XZ* index and its encoding (Section IV, Lemmas 3-4)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import EncodingError, IndexingError
+from repro.geometry.mbr import MBR
+from repro.geometry.trajectory import Trajectory
+from repro.index.bounds import SpaceBounds
+from repro.index.quadrant import ROOT, Element
+from repro.index.xzstar import XZStarIndex
+
+UNIT = SpaceBounds(0, 0, 1, 1)
+
+
+class TestCounting:
+    def test_lemma3_quadrant_sequences(self):
+        ix = XZStarIndex(max_resolution=8, bounds=UNIT)
+        # 4^(i-l) sequences at resolution i share an l-prefix.
+        assert ix.n_quadrant_sequences(8, 8) == 1
+        assert ix.n_quadrant_sequences(8, 6) == 16
+        assert ix.n_quadrant_sequences(3, 0) == 64
+
+    def test_lemma4_closed_form(self):
+        ix = XZStarIndex(max_resolution=5, bounds=UNIT)
+        for level in range(1, 6):
+            assert ix.n_index_spaces(level) == 13 * 4 ** (5 - level) - 3
+
+    def test_lemma4_recurrence(self):
+        """N_is(l) = 9 + 4 * N_is(l+1) below the max; N_is(r) = 10."""
+        ix = XZStarIndex(max_resolution=6, bounds=UNIT)
+        assert ix.n_index_spaces(6) == 10
+        for level in range(1, 6):
+            assert ix.n_index_spaces(level) == 9 + 4 * ix.n_index_spaces(level + 1)
+
+    def test_total(self):
+        ix = XZStarIndex(max_resolution=3, bounds=UNIT)
+        # Main block 13*4^3 - 12 plus the 9-code root tail block.
+        assert ix.root_block_start == 13 * 64 - 12
+        assert ix.total_index_spaces == 13 * 64 - 12 + 9
+
+    def test_resolution_bounds(self):
+        with pytest.raises(IndexingError):
+            XZStarIndex(max_resolution=0)
+        with pytest.raises(IndexingError):
+            XZStarIndex(max_resolution=29)
+
+
+class TestEncoding:
+    def test_paper_worked_example(self):
+        """Figure 3 / Definition 5: V('03', 2) = 40 and V('03', 7) = 45
+        at maximum resolution 2."""
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        e = Element.from_sequence_str("03")
+        assert ix.value(e, 2) == 40
+        assert ix.value(e, 7) == 45
+
+    def test_figure4_block_layout(self):
+        """Figure 4(a): '0' owns 0..8 and '00' owns 9..18 at r = 2."""
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        assert ix.value(Element.from_sequence_str("0"), 1) == 0
+        assert ix.value(Element.from_sequence_str("0"), 9) == 8
+        assert ix.value(Element.from_sequence_str("00"), 1) == 9
+        assert ix.value(Element.from_sequence_str("00"), 10) == 18
+
+    def test_bijection_exhaustive_r2(self):
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        seen = set()
+        for v in range(ix.total_index_spaces):
+            element, code = ix.decode(v)
+            assert ix.value(element, code) == v
+            seen.add((element, code))
+        assert len(seen) == ix.total_index_spaces
+
+    def test_bijection_exhaustive_r3(self):
+        ix = XZStarIndex(max_resolution=3, bounds=UNIT)
+        for v in range(ix.total_index_spaces):
+            element, code = ix.decode(v)
+            assert ix.value(element, code) == v
+
+    def test_bijection_sampled_r16(self):
+        ix = XZStarIndex(max_resolution=16, bounds=UNIT)
+        rng = random.Random(5)
+        for _ in range(2000):
+            v = rng.randrange(ix.total_index_spaces)
+            element, code = ix.decode(v)
+            assert ix.value(element, code) == v
+
+    def test_depth_first_prefix_locality(self):
+        """Longer shared prefixes produce closer values (Section IV-C
+        'the longer the same prefix of two quadrant sequences, the
+        closer their converted numbers are')."""
+        ix = XZStarIndex(max_resolution=4, bounds=UNIT)
+        near = abs(
+            ix.value(Element.from_sequence_str("0000"), 1)
+            - ix.value(Element.from_sequence_str("0001"), 1)
+        )
+        far = abs(
+            ix.value(Element.from_sequence_str("0000"), 1)
+            - ix.value(Element.from_sequence_str("3000"), 1)
+        )
+        assert near < far
+
+    def test_lexicographic_order_preserved(self):
+        """(s, p) lexicographic order equals numeric value order."""
+        ix = XZStarIndex(max_resolution=3, bounds=UNIT)
+        items = []
+        for v in range(ix.root_block_start):
+            element, code = ix.decode(v)
+            items.append((element.sequence, code, v))
+        # Depth-first order: prefix sorts before extensions; compare by
+        # (sequence, code) where a prefix precedes its children.
+        for (s1, p1, v1), (s2, p2, v2) in zip(items, items[1:]):
+            assert v2 == v1 + 1
+            assert (s1, p1) != (s2, p2)
+
+    def test_subtree_span_contains_descendants(self):
+        ix = XZStarIndex(max_resolution=4, bounds=UNIT)
+        e = Element.from_sequence_str("21")
+        lo, hi = ix.subtree_span(e)
+        assert hi - lo == ix.n_index_spaces(2)
+        # Own codes and deep descendant codes inside the span.
+        assert lo <= ix.value(e, 1) < hi
+        assert lo <= ix.value(Element.from_sequence_str("2133"), 10) < hi
+        # A sibling's codes outside.
+        assert not lo <= ix.value(Element.from_sequence_str("22"), 1) < hi
+
+    def test_root_tail_block(self):
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        v = ix.value(ROOT, 1)
+        assert v == ix.root_block_start
+        assert ix.decode(v) == (ROOT, 1)
+        assert ix.decode(ix.value(ROOT, 9)) == (ROOT, 9)
+
+    def test_code_validation(self):
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        with pytest.raises(EncodingError):
+            ix.value(Element.from_sequence_str("0"), 10)  # below max res
+        with pytest.raises(EncodingError):
+            ix.value(Element.from_sequence_str("00"), 11)
+        with pytest.raises(EncodingError):
+            ix.value(ROOT, 10)
+
+    def test_decode_out_of_range(self):
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        with pytest.raises(EncodingError):
+            ix.decode(-1)
+        with pytest.raises(EncodingError):
+            ix.decode(ix.total_index_spaces)
+
+    def test_value_fits_in_64_bits_at_r28(self):
+        ix = XZStarIndex(max_resolution=28, bounds=UNIT)
+        assert ix.total_index_spaces < 2**63
+
+
+class TestIndexing:
+    def test_place_and_value(self):
+        ix = XZStarIndex(max_resolution=2, bounds=UNIT)
+        # T1 of Figure 3: spans quads a and c of element '03'.
+        t = Trajectory("T1", [(0.27, 0.3), (0.6, 0.35)])
+        element, code = ix.place(t)
+        assert element.sequence_str == "03"
+        assert code == 2
+        assert ix.index(t).value == 40
+
+    def test_stationary_trajectory_at_max_resolution(self):
+        ix = XZStarIndex(max_resolution=16, bounds=UNIT)
+        t = Trajectory("s", [(0.5, 0.5)] * 4)
+        placed = ix.index(t)
+        assert placed.element.level == 16
+        assert placed.position_code == 10
+
+    def test_world_bounds_normalisation(self):
+        ix = XZStarIndex(max_resolution=8)  # whole earth
+        t = Trajectory("bj", [(116.3, 39.9), (116.5, 40.0)])
+        placed = ix.index(t)
+        world = ix.element_world_mbr(placed.element)
+        assert world.contains(t.mbr)
+
+    def test_same_trajectory_same_value(self):
+        ix = XZStarIndex(max_resolution=12, bounds=UNIT)
+        t = Trajectory("a", [(0.1, 0.1), (0.15, 0.12)])
+        assert ix.index(t).value == ix.index(t).value
+
+
+class TestRangeQuery:
+    def test_ranges_cover_matching_trajectories(self):
+        ix = XZStarIndex(max_resolution=8, bounds=UNIT)
+        rng = random.Random(9)
+        trajectories = []
+        for i in range(150):
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            pts = [
+                (
+                    min(1.0, x + rng.uniform(0, 0.05)),
+                    min(1.0, y + rng.uniform(0, 0.05)),
+                )
+                for _ in range(5)
+            ]
+            trajectories.append(Trajectory(f"t{i}", pts))
+        window = MBR(0.3, 0.3, 0.6, 0.6)
+        ranges = ix.range_query_ranges(window)
+        covered = lambda v: any(r.contains(v) for r in ranges)
+        for t in trajectories:
+            if any(window.contains_point(x, y) for x, y in t.points):
+                assert covered(ix.index(t).value), t.tid
+
+    def test_window_outside_space(self):
+        ix = XZStarIndex(max_resolution=6, bounds=UNIT)
+        # Window clamps to the boundary: still valid, small result.
+        ranges = ix.range_query_ranges(MBR(0.99, 0.99, 1.0, 1.0))
+        assert isinstance(ranges, list)

@@ -1,0 +1,152 @@
+"""End-to-end integration tests across modules.
+
+Bigger datasets, realistic generators, both key encodings, flushes and
+compactions mid-stream — the paths a real deployment would exercise.
+"""
+
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory
+from repro.core.storage import STRING_KEYS
+from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+from repro.data.workload import sample_queries
+from repro.measures import discrete_frechet, get_measure
+
+
+@pytest.fixture(scope="module")
+def tdrive_engine():
+    data = tdrive_like(250, seed=19)
+    cfg = TraSSConfig(
+        bounds=TDRIVE_BOUNDS, max_resolution=14, dp_tolerance=0.005, shards=4
+    )
+    return TraSS.build(data, cfg), list(data)
+
+
+class TestTDriveEndToEnd:
+    def test_threshold_matches_brute_force(self, tdrive_engine):
+        engine, data = tdrive_engine
+        rng = random.Random(71)
+        queries = sample_queries(data, 6, seed=3)
+        for q in queries:
+            eps = rng.choice([0.01, 0.03])
+            got = set(engine.threshold_search(q, eps).answers)
+            want = {
+                t.tid
+                for t in data
+                if discrete_frechet(q.points, t.points) <= eps
+            }
+            assert got == want, q.tid
+
+    def test_topk_matches_brute_force(self, tdrive_engine):
+        engine, data = tdrive_engine
+        queries = sample_queries(data, 3, seed=4)
+        for q in queries:
+            got = engine.topk_search(q, 8)
+            want = sorted(
+                (discrete_frechet(q.points, t.points), t.tid) for t in data
+            )[:8]
+            assert [round(d, 9) for d, _ in got.answers] == [
+                round(d, 9) for d, _ in want
+            ]
+
+    def test_stationary_taxis_are_searchable(self, tdrive_engine):
+        engine, data = tdrive_engine
+        stationary = [t for t in data if t.is_stationary()]
+        assert stationary, "generator must produce waiting taxis"
+        q = stationary[0]
+        result = engine.threshold_search(q, 0.001)
+        assert q.tid in result.answers
+
+    def test_pruning_beats_full_scan(self, tdrive_engine):
+        """Global pruning must touch far fewer rows than the table
+        holds — the headline I/O claim in miniature."""
+        engine, data = tdrive_engine
+        q = sample_queries(data, 1, seed=5)[0]
+        result = engine.threshold_search(q, 0.01)
+        assert result.retrieved_rows < len(data) * 0.5
+
+
+class TestStringKeyEngine:
+    def test_string_engine_matches_integer_engine(self):
+        data = tdrive_like(120, seed=20)
+        cfg = TraSSConfig(
+            bounds=TDRIVE_BOUNDS, max_resolution=12, dp_tolerance=0.005, shards=2
+        )
+        int_engine = TraSS.build(data, cfg)
+        str_engine = TraSS.build(data, cfg, key_encoding=STRING_KEYS)
+        for q in sample_queries(data, 4, seed=6):
+            a = set(int_engine.threshold_search(q, 0.02).answers)
+            b = set(str_engine.threshold_search(q, 0.02).answers)
+            assert a == b
+
+
+class TestStoreMaintenance:
+    def test_search_correct_after_flush_and_compaction(self):
+        data = tdrive_like(100, seed=21)
+        cfg = TraSSConfig(
+            bounds=TDRIVE_BOUNDS, max_resolution=12, dp_tolerance=0.005, shards=2
+        )
+        engine = TraSS.build(data, cfg)
+        engine.store.table.flush_all()
+        engine.store.table.compact_all()
+        q = data[10]
+        got = set(engine.threshold_search(q, 0.02).answers)
+        want = {
+            t.tid for t in data if discrete_frechet(q.points, t.points) <= 0.02
+        }
+        assert got == want
+
+    def test_incremental_ingest(self):
+        cfg = TraSSConfig(
+            bounds=TDRIVE_BOUNDS, max_resolution=12, dp_tolerance=0.005, shards=2
+        )
+        engine = TraSS(cfg)
+        batches = [tdrive_like(40, seed=s) for s in (22, 23)]
+        # Rename to avoid tid collisions across batches.
+        all_data = []
+        for bi, batch in enumerate(batches):
+            for t in batch:
+                renamed = Trajectory(f"b{bi}_{t.tid}", t.points)
+                all_data.append(renamed)
+                engine.add(renamed)
+        assert len(engine) == 80
+        q = all_data[5]
+        got = set(engine.threshold_search(q, 0.02).answers)
+        want = {
+            t.tid
+            for t in all_data
+            if discrete_frechet(q.points, t.points) <= 0.02
+        }
+        assert got == want
+
+    def test_region_splits_during_ingest(self):
+        cfg = TraSSConfig(
+            bounds=TDRIVE_BOUNDS,
+            max_resolution=12,
+            dp_tolerance=0.005,
+            shards=2,
+            max_region_rows=40,
+        )
+        data = tdrive_like(200, seed=24)
+        engine = TraSS.build(data, cfg)
+        assert engine.store.table.num_regions > 1
+        q = data[0]
+        got = set(engine.threshold_search(q, 0.01).answers)
+        want = {
+            t.tid for t in data if discrete_frechet(q.points, t.points) <= 0.01
+        }
+        assert got == want
+
+
+class TestOtherMeasuresEndToEnd:
+    @pytest.mark.parametrize("measure", ["hausdorff", "dtw"])
+    def test_section_vii_measures(self, tdrive_engine, measure):
+        engine, data = tdrive_engine
+        m = get_measure(measure)
+        q = sample_queries(data, 1, seed=7)[0]
+        eps = 0.03
+        got = set(engine.threshold_search(q, eps, measure=measure).answers)
+        want = {t.tid for t in data if m.distance(q.points, t.points) <= eps}
+        assert got == want

@@ -1,0 +1,58 @@
+"""Unit tests for the bloom filter."""
+
+import random
+
+import pytest
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(expected_items=500)
+        keys = [f"key{i}".encode() for i in range(500)]
+        for key in keys:
+            bf.add(key)
+        assert all(bf.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(expected_items=1000, false_positive_rate=0.01)
+        for i in range(1000):
+            bf.add(f"member{i}".encode())
+        rng = random.Random(1)
+        false_hits = sum(
+            bf.might_contain(f"absent{rng.random()}".encode()) for _ in range(5000)
+        )
+        # Allow generous slack over the 1% design point.
+        assert false_hits / 5000 < 0.05
+
+    def test_empty_filter_rejects(self):
+        bf = BloomFilter(expected_items=10)
+        assert not bf.might_contain(b"anything")
+
+    def test_parameter_validation(self):
+        with pytest.raises(KVStoreError):
+            BloomFilter(expected_items=0)
+        with pytest.raises(KVStoreError):
+            BloomFilter(expected_items=10, false_positive_rate=1.5)
+
+    def test_saturation_grows(self):
+        bf = BloomFilter(expected_items=100)
+        assert bf.saturation == 0.0
+        for i in range(100):
+            bf.add(str(i).encode())
+        assert 0.0 < bf.saturation < 1.0
+
+    def test_serialisation_roundtrip(self):
+        bf = BloomFilter(expected_items=50)
+        for i in range(50):
+            bf.add(f"k{i}".encode())
+        restored = BloomFilter.from_bytes(bf.to_bytes())
+        assert restored.num_bits == bf.num_bits
+        assert restored.num_hashes == bf.num_hashes
+        assert all(restored.might_contain(f"k{i}".encode()) for i in range(50))
+
+    def test_truncated_serialisation_raises(self):
+        with pytest.raises(KVStoreError):
+            BloomFilter.from_bytes(b"short")

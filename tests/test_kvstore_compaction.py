@@ -1,0 +1,127 @@
+"""Tests for compaction policies and amplification accounting."""
+
+import random
+
+import pytest
+
+from repro.kvstore.compaction import (
+    CompactingLSMStore,
+    FullCompactionPolicy,
+    SizeTieredPolicy,
+)
+from repro.kvstore.lsm import LSMStore
+from repro.kvstore.sstable import SSTable
+
+
+def run_of(n, prefix="k", width=4):
+    return SSTable.from_entries(
+        (f"{prefix}{i:0{width}d}".encode(), b"v") for i in range(n)
+    )
+
+
+class TestPolicies:
+    def test_full_policy_trigger(self):
+        policy = FullCompactionPolicy(trigger=3)
+        assert policy.select([run_of(5)] * 2) == []
+        assert policy.select([run_of(5)] * 3) == [0, 1, 2]
+
+    def test_size_tiered_merges_similar_sizes(self):
+        policy = SizeTieredPolicy(min_merge=3, ratio=2.0)
+        runs = [run_of(10), run_of(11), run_of(12), run_of(1000, width=6)]
+        chosen = policy.select(runs)
+        assert sorted(chosen) == [0, 1, 2]  # the big run is left alone
+
+    def test_size_tiered_no_merge_when_dissimilar(self):
+        policy = SizeTieredPolicy(min_merge=3, ratio=1.5)
+        runs = [run_of(10), run_of(100, width=5), run_of(1000, width=6)]
+        assert policy.select(runs) == []
+
+
+class TestCompactingStore:
+    def _fill(self, store, n=400, seed=1):
+        rng = random.Random(seed)
+        model = {}
+        for _ in range(n):
+            key = f"key{rng.randrange(120):04d}".encode()
+            value = str(rng.random()).encode()
+            store.put(key, value)
+            model[key] = value
+        return model
+
+    def test_reads_correct_under_size_tiering(self):
+        store = CompactingLSMStore(
+            flush_threshold=512, policy=SizeTieredPolicy(min_merge=3)
+        )
+        model = self._fill(store)
+        assert dict(store.scan()) == model
+        for key, value in model.items():
+            assert store.get(key) == value
+        assert store.compaction_count > 0
+
+    def test_deletes_respected_in_partial_merges(self):
+        store = CompactingLSMStore(
+            flush_threshold=10**9, policy=SizeTieredPolicy(min_merge=2)
+        )
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.flush()
+        store.delete(b"a")
+        store.flush()  # may trigger a partial merge; tombstone must win
+        assert store.get(b"a") is None
+        assert dict(store.scan()) == {b"b": b"2"}
+
+    def test_amplification_counters(self):
+        store = CompactingLSMStore(
+            flush_threshold=256, policy=SizeTieredPolicy(min_merge=3)
+        )
+        self._fill(store, 300)
+        assert store.bytes_ingested > 0
+        assert store.bytes_written > 0
+        assert store.write_amplification >= 1.0 or store.flush_count == 0
+        assert store.read_amplification >= 1
+
+    def test_size_tiering_writes_less_than_full(self):
+        """Size tiering's point: fewer rewrite bytes than always-full
+        compaction under the same workload."""
+
+        def workload(store):
+            rng = random.Random(3)
+            for _ in range(800):
+                store.put(
+                    f"key{rng.randrange(500):04d}".encode(),
+                    (str(rng.random()) * 2).encode(),
+                )
+            return store
+
+        tiered = workload(
+            CompactingLSMStore(
+                flush_threshold=512, policy=SizeTieredPolicy(min_merge=4)
+            )
+        )
+        full = workload(
+            CompactingLSMStore(
+                flush_threshold=512, policy=FullCompactionPolicy(trigger=2)
+            )
+        )
+        assert dict(tiered.scan()) == dict(full.scan())
+        assert tiered.bytes_written < full.bytes_written
+        # The flip side: tiering leaves more runs for reads to consult.
+        assert tiered.read_amplification >= full.read_amplification
+
+    def test_model_comparison_random_ops(self):
+        rng = random.Random(5)
+        store = CompactingLSMStore(
+            flush_threshold=128, policy=SizeTieredPolicy(min_merge=3)
+        )
+        model = {}
+        for _ in range(1500):
+            op = rng.random()
+            key = f"k{rng.randrange(40):02d}".encode()
+            if op < 0.7:
+                value = str(rng.randrange(10**6)).encode()
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        assert dict(store.scan()) == model

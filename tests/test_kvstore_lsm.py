@@ -1,0 +1,138 @@
+"""Unit tests for the LSM store (flush, shadowing, compaction)."""
+
+import random
+
+import pytest
+
+from repro.kvstore.lsm import LSMStore
+
+
+class TestBasics:
+    def test_put_get(self):
+        s = LSMStore()
+        s.put(b"a", b"1")
+        assert s.get(b"a") == b"1"
+        assert s.get(b"x") is None
+
+    def test_delete(self):
+        s = LSMStore()
+        s.put(b"a", b"1")
+        s.delete(b"a")
+        assert s.get(b"a") is None
+
+    def test_scan_sorted_and_half_open(self):
+        s = LSMStore()
+        for key in [b"d", b"a", b"c", b"b"]:
+            s.put(key, key)
+        assert [k for k, _ in s.scan(b"b", b"d")] == [b"b", b"c"]
+
+
+class TestFlushAndShadowing:
+    def test_flush_preserves_reads(self):
+        s = LSMStore()
+        s.put(b"a", b"1")
+        s.flush()
+        assert s.get(b"a") == b"1"
+        assert len(s.sstables) == 1
+
+    def test_newer_version_shadows_flushed(self):
+        s = LSMStore()
+        s.put(b"a", b"old")
+        s.flush()
+        s.put(b"a", b"new")
+        assert s.get(b"a") == b"new"
+        assert [v for _, v in s.scan()] == [b"new"]
+
+    def test_tombstone_shadows_flushed_value(self):
+        s = LSMStore()
+        s.put(b"a", b"1")
+        s.flush()
+        s.delete(b"a")
+        assert s.get(b"a") is None
+        assert list(s.scan()) == []
+
+    def test_tombstone_survives_its_own_flush(self):
+        s = LSMStore()
+        s.put(b"a", b"1")
+        s.flush()
+        s.delete(b"a")
+        s.flush()  # tombstone now in a newer SSTable
+        assert s.get(b"a") is None
+        assert list(s.scan()) == []
+
+    def test_automatic_flush_on_threshold(self):
+        s = LSMStore(flush_threshold=64)
+        for i in range(50):
+            s.put(f"key{i:04d}".encode(), b"x" * 16)
+        assert s.flush_count > 0
+        assert all(
+            s.get(f"key{i:04d}".encode()) == b"x" * 16 for i in range(50)
+        )
+
+
+class TestCompaction:
+    def test_compaction_merges_runs(self):
+        s = LSMStore(compaction_trigger=100)
+        for batch in range(5):
+            for i in range(10):
+                s.put(f"k{batch}_{i}".encode(), b"v")
+            s.flush()
+        assert len(s.sstables) == 5
+        s.compact()
+        assert len(s.sstables) == 1
+        assert len(list(s.scan())) == 50
+
+    def test_compaction_drops_tombstones(self):
+        s = LSMStore()
+        s.put(b"a", b"1")
+        s.put(b"b", b"2")
+        s.flush()
+        s.delete(b"a")
+        s.flush()
+        s.compact()
+        assert len(s.sstables) == 1
+        assert [k for k, _ in s.scan()] == [b"b"]
+        # The tombstone is physically gone, not just hidden.
+        assert len(s.sstables[0]) == 1
+
+    def test_automatic_compaction_trigger(self):
+        s = LSMStore(flush_threshold=32, compaction_trigger=3)
+        for i in range(100):
+            s.put(f"key{i:04d}".encode(), b"y" * 8)
+        assert s.compaction_count > 0
+        assert len(list(s.scan())) == 100
+
+    def test_compaction_keeps_newest_version(self):
+        s = LSMStore()
+        for round_ in range(4):
+            s.put(b"a", f"v{round_}".encode())
+            s.flush()
+        s.compact()
+        assert s.get(b"a") == b"v3"
+
+
+class TestModelComparison:
+    def test_random_ops_match_dict_model(self):
+        """Model-based: the LSM store must behave like a plain dict
+        under random puts/deletes/flushes/compactions."""
+        rng = random.Random(7)
+        s = LSMStore(flush_threshold=256, compaction_trigger=4)
+        model = {}
+        keyspace = [f"k{i:02d}".encode() for i in range(30)]
+        for _ in range(2000):
+            op = rng.random()
+            key = rng.choice(keyspace)
+            if op < 0.6:
+                value = str(rng.randrange(1000)).encode()
+                s.put(key, value)
+                model[key] = value
+            elif op < 0.8:
+                s.delete(key)
+                model.pop(key, None)
+            elif op < 0.9:
+                s.flush()
+            else:
+                s.compact()
+        assert dict(s.scan()) == model
+        for key in keyspace:
+            assert s.get(key) == model.get(key)

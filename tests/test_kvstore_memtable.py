@@ -1,0 +1,76 @@
+"""Unit tests for the memtable."""
+
+import pytest
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+
+
+class TestMemTable:
+    def test_put_get(self):
+        m = MemTable()
+        m.put(b"a", b"1")
+        assert m.get(b"a") == b"1"
+        assert m.get(b"b") is None
+
+    def test_overwrite(self):
+        m = MemTable()
+        m.put(b"a", b"1")
+        m.put(b"a", b"22")
+        assert m.get(b"a") == b"22"
+        assert len(m) == 1
+
+    def test_delete_records_tombstone(self):
+        m = MemTable()
+        m.put(b"a", b"1")
+        m.delete(b"a")
+        assert m.get(b"a") is TOMBSTONE
+
+    def test_delete_of_absent_key_still_tombstones(self):
+        # The key may exist in an older SSTable; the tombstone must be
+        # recorded regardless.
+        m = MemTable()
+        m.delete(b"ghost")
+        assert m.get(b"ghost") is TOMBSTONE
+
+    def test_scan_sorted(self):
+        m = MemTable()
+        for key in [b"c", b"a", b"b"]:
+            m.put(key, key)
+        assert [k for k, _ in m.scan()] == [b"a", b"b", b"c"]
+
+    def test_scan_range_half_open(self):
+        m = MemTable()
+        for key in [b"a", b"b", b"c", b"d"]:
+            m.put(key, key)
+        got = [k for k, _ in m.scan(b"b", b"d")]
+        assert got == [b"b", b"c"]
+
+    def test_scan_includes_tombstones(self):
+        m = MemTable()
+        m.put(b"a", b"1")
+        m.delete(b"b")
+        entries = dict(m.scan())
+        assert entries[b"b"] is TOMBSTONE
+
+    def test_type_validation(self):
+        m = MemTable()
+        with pytest.raises(KVStoreError):
+            m.put("a", b"1")  # type: ignore[arg-type]
+        with pytest.raises(KVStoreError):
+            m.put(b"a", "1")  # type: ignore[arg-type]
+
+    def test_approximate_size_tracks_updates(self):
+        m = MemTable()
+        m.put(b"a", b"xxxx")
+        first = m.approximate_size
+        m.put(b"a", b"xx")
+        assert m.approximate_size < first
+
+    def test_clear(self):
+        m = MemTable()
+        m.put(b"a", b"1")
+        m.clear()
+        assert len(m) == 0
+        assert m.approximate_size == 0
+        assert m.get(b"a") is None

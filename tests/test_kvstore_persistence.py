@@ -1,0 +1,153 @@
+"""Tests for the WAL, table persistence, and engine save/load."""
+
+import os
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, SpaceBounds
+from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+from repro.exceptions import KVStoreError
+from repro.kvstore.persistence import DurableKVTable, load_table, save_table
+from repro.kvstore.table import KVTable
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+
+class TestWriteAheadLog:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.append_put(b"a", b"1")
+            wal.append_delete(b"b")
+            wal.append_put(b"c", b"333")
+            wal.flush()
+        assert WriteAheadLog.replay(path) == [
+            (OP_PUT, b"a", b"1"),
+            (OP_DELETE, b"b", b""),
+            (OP_PUT, b"c", b"333"),
+        ]
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert WriteAheadLog.replay(str(tmp_path / "nope.log")) == []
+
+    def test_torn_tail_stops_cleanly(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.append_put(b"a", b"1")
+            wal.append_put(b"b", b"2")
+            wal.flush()
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-5])  # tear the final record
+        records = WriteAheadLog.replay(path)
+        assert records == [(OP_PUT, b"a", b"1")]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.append_put(b"aaaa", b"1111")
+            wal.append_put(b"bbbb", b"2222")
+            wal.flush()
+        data = bytearray(open(path, "rb").read())
+        data[10] ^= 0xFF  # corrupt the first record's body
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(KVStoreError):
+            WriteAheadLog.replay(path)
+
+    def test_truncate(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append_put(b"a", b"1")
+        wal.truncate()
+        wal.append_put(b"b", b"2")
+        wal.flush()
+        wal.close()
+        assert WriteAheadLog.replay(path) == [(OP_PUT, b"b", b"2")]
+
+
+class TestTablePersistence:
+    def test_roundtrip(self, tmp_path):
+        table = KVTable(max_region_rows=20)
+        rng = random.Random(1)
+        model = {}
+        for i in range(100):
+            key = f"key{rng.randrange(1000):04d}".encode()
+            value = str(i).encode()
+            table.put(key, value)
+            model[key] = value
+        save_table(table, str(tmp_path / "tbl"))
+        restored = load_table(str(tmp_path / "tbl"))
+        assert dict(restored.full_scan()) == model
+        assert restored.num_regions == table.num_regions
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(KVStoreError):
+            load_table(str(tmp_path))
+
+    def test_corrupt_manifest(self, tmp_path):
+        d = tmp_path / "tbl"
+        d.mkdir()
+        (d / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(KVStoreError):
+            load_table(str(d))
+
+    def test_durable_table_recovers_from_wal(self, tmp_path):
+        directory = str(tmp_path / "durable")
+        durable = DurableKVTable(KVTable(), directory)
+        durable.put(b"a", b"1")
+        durable.checkpoint()  # snapshot holds {a}
+        durable.put(b"b", b"2")  # only in the WAL
+        durable.delete(b"a")  # only in the WAL
+        durable.close()
+        # "Crash" and restart: snapshot + WAL replay.
+        restored = load_table(directory)
+        assert dict(restored.full_scan()) == {b"b": b"2"}
+
+    def test_durable_checkpoint_truncates_wal(self, tmp_path):
+        directory = str(tmp_path / "durable")
+        durable = DurableKVTable(KVTable(), directory)
+        durable.put(b"a", b"1")
+        durable.checkpoint()
+        durable.close()
+        assert WriteAheadLog.replay(os.path.join(directory, "wal.log")) == []
+        restored = load_table(directory)
+        assert dict(restored.full_scan()) == {b"a": b"1"}
+
+
+class TestEngineSaveLoad:
+    def test_engine_roundtrip(self, tmp_path):
+        data = tdrive_like(80, seed=31)
+        cfg = TraSSConfig(
+            bounds=TDRIVE_BOUNDS, max_resolution=12, dp_tolerance=0.005, shards=3
+        )
+        engine = TraSS.build(data, cfg)
+        q = data[5]
+        before = engine.threshold_search(q, 0.02)
+
+        engine.save(str(tmp_path / "store"))
+        restored = TraSS.load(str(tmp_path / "store"))
+
+        assert len(restored) == len(engine)
+        assert restored.config.max_resolution == 12
+        assert restored.config.shards == 3
+        after = restored.threshold_search(q, 0.02)
+        assert set(after.answers) == set(before.answers)
+        # Statistics rebuilt.
+        assert restored.store.value_histogram == engine.store.value_histogram
+
+    def test_engine_roundtrip_topk(self, tmp_path):
+        data = tdrive_like(60, seed=32)
+        cfg = TraSSConfig(
+            bounds=TDRIVE_BOUNDS, max_resolution=12, dp_tolerance=0.005, shards=2
+        )
+        engine = TraSS.build(data, cfg)
+        engine.save(str(tmp_path / "store"))
+        restored = TraSS.load(str(tmp_path / "store"))
+        q = data[0]
+        a = [tid for _, tid in engine.topk_search(q, 5).answers]
+        b = [tid for _, tid in restored.topk_search(q, 5).answers]
+        assert a == b
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(KVStoreError):
+            TraSS.load(str(tmp_path / "missing"))

@@ -1,0 +1,98 @@
+"""Unit tests for row-key encodings (Section IV-E, Figure 13(c))."""
+
+import random
+
+import pytest
+
+from repro.exceptions import KVStoreError
+from repro.kvstore.rowkey import (
+    VALUE_WIDTH,
+    decode_rowkey,
+    decode_string_rowkey,
+    encode_rowkey,
+    encode_string_rowkey,
+    rowkey_range,
+    shard_of,
+)
+
+
+class TestIntegerKeys:
+    def test_roundtrip(self):
+        key = encode_rowkey(3, 123456789, "taxi42")
+        assert decode_rowkey(key) == (3, 123456789, "taxi42")
+
+    def test_layout(self):
+        key = encode_rowkey(7, 1, "x")
+        assert key[0] == 7
+        assert len(key) == 1 + VALUE_WIDTH + 1
+
+    def test_byte_order_equals_numeric_order(self):
+        """Big-endian packing: the property every range scan relies on."""
+        rng = random.Random(1)
+        values = sorted(rng.randrange(2**62) for _ in range(200))
+        keys = [encode_rowkey(0, v, "") for v in values]
+        assert keys == sorted(keys)
+
+    def test_shard_prefix_dominates(self):
+        low_shard = encode_rowkey(0, 2**60, "z")
+        high_shard = encode_rowkey(1, 0, "a")
+        assert low_shard < high_shard
+
+    def test_range(self):
+        start, stop = rowkey_range(2, 100, 200)
+        assert start < encode_rowkey(2, 100, "any") < stop
+        assert start < encode_rowkey(2, 199, "zzz") < stop
+        assert not start <= encode_rowkey(2, 200, "") < stop
+
+    def test_validation(self):
+        with pytest.raises(KVStoreError):
+            encode_rowkey(300, 0, "a")
+        with pytest.raises(KVStoreError):
+            encode_rowkey(0, -1, "a")
+        with pytest.raises(KVStoreError):
+            rowkey_range(0, 5, 5)
+        with pytest.raises(KVStoreError):
+            decode_rowkey(b"short")
+
+
+class TestStringKeys:
+    def test_roundtrip(self):
+        key = encode_string_rowkey(4, "0312", 7, "lorry9")
+        assert decode_string_rowkey(key) == (4, "0312", 7, "lorry9")
+
+    def test_string_keys_cost_about_double_at_r16(self):
+        """Figure 13(c): string keys ~2x the integer key bytes."""
+        int_key = encode_rowkey(0, 123, "t1")
+        str_key = encode_string_rowkey(0, "0" * 16, 5, "t1")
+        ratio = len(str_key) / len(int_key)
+        assert 1.5 < ratio < 2.5
+
+    def test_code_validation(self):
+        with pytest.raises(KVStoreError):
+            encode_string_rowkey(0, "01", 11, "t")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(KVStoreError):
+            decode_string_rowkey(b"\x00no-separators")
+
+
+class TestSharding:
+    def test_deterministic(self):
+        assert shard_of("taxi1", 8) == shard_of("taxi1", 8)
+
+    def test_spread(self):
+        counts = [0] * 8
+        for i in range(4000):
+            counts[shard_of(f"t{i}", 8)] += 1
+        # Roughly uniform: no shard below half or above double the mean.
+        assert min(counts) > 250
+        assert max(counts) < 1000
+
+    def test_in_range(self):
+        for shards in (1, 3, 16):
+            for i in range(100):
+                assert 0 <= shard_of(f"x{i}", shards) < shards
+
+    def test_validation(self):
+        with pytest.raises(KVStoreError):
+            shard_of("a", 0)

@@ -1,0 +1,158 @@
+"""Unit tests for the edit-based measures (EDR, ERP) and the engine's
+full-scan fallback for non-prunable measures."""
+
+import math
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.measures import get_measure
+from repro.measures.edr import EDR, edr, edr_within
+from repro.measures.erp import ERP, erp, erp_within
+
+
+def walk(rng, n, start=(0.0, 0.0), step=0.05):
+    x, y = start
+    pts = [(x, y)]
+    for _ in range(n - 1):
+        x += rng.uniform(-step, step)
+        y += rng.uniform(-step, step)
+        pts.append((x, y))
+    return pts
+
+
+class TestEDR:
+    def test_identical_is_zero(self):
+        pts = [(0, 0), (1, 0), (2, 0)]
+        assert edr(pts, pts) == 0.0
+
+    def test_single_substitution(self):
+        a = [(0, 0), (1, 0), (2, 0)]
+        b = [(0, 0), (1, 5), (2, 0)]  # middle point far -> 1 edit
+        assert edr(a, b, delta=0.1) == 1.0
+
+    def test_length_difference_costs_inserts(self):
+        a = [(0, 0)]
+        b = [(0, 0), (0.001, 0), (0.002, 0)]
+        assert edr(a, b, delta=0.01) == 2.0
+
+    def test_symmetric(self):
+        rng = random.Random(1)
+        a, b = walk(rng, 10), walk(rng, 14)
+        assert edr(a, b) == edr(b, a)
+
+    def test_bounded_by_max_length(self):
+        rng = random.Random(2)
+        a, b = walk(rng, 8), walk(rng, 12, start=(5, 5))
+        assert edr(a, b) <= max(len(a), len(b))
+
+    def test_within_agrees_with_exact(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            a, b = walk(rng, 8), walk(rng, 9, start=(0.05, 0.0))
+            d = edr(a, b)
+            for eps in (max(0, d - 1), d, d + 1):
+                assert edr_within(a, b, eps) == (d <= eps)
+
+    def test_no_point_lower_bound_flag(self):
+        m = get_measure("edr")
+        assert not m.supports_point_lower_bound
+        assert not m.supports_start_end_filter
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            EDR(delta=-1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            edr([], [(0, 0)])
+
+
+class TestERP:
+    def test_identical_is_zero(self):
+        pts = [(1, 1), (2, 1)]
+        assert erp(pts, pts) == pytest.approx(0.0)
+
+    def test_single_point_vs_pair(self):
+        # Align (g)-gap: one point must be gap-deleted.
+        a = [(1.0, 0.0)]
+        b = [(1.0, 0.0), (2.0, 0.0)]
+        # Optimal: match (1,0)-(1,0) cost 0, delete (2,0) at cost d((2,0), g=origin)=2.
+        assert erp(a, b) == pytest.approx(2.0)
+
+    def test_symmetric(self):
+        rng = random.Random(4)
+        a, b = walk(rng, 9), walk(rng, 12)
+        assert erp(a, b) == pytest.approx(erp(b, a))
+
+    def test_triangle_inequality(self):
+        """ERP is a metric (unlike DTW)."""
+        rng = random.Random(5)
+        for _ in range(25):
+            a, b, c = walk(rng, 6), walk(rng, 7), walk(rng, 8)
+            assert erp(a, c) <= erp(a, b) + erp(b, c) + 1e-9
+
+    def test_within_agrees_with_exact(self):
+        rng = random.Random(6)
+        for _ in range(40):
+            a, b = walk(rng, 8), walk(rng, 10, start=(0.1, 0.1))
+            d = erp(a, b)
+            for eps in (d * 0.5, d, d * 1.5):
+                assert erp_within(a, b, eps) == (d <= eps + 1e-12)
+
+    def test_custom_gap_point(self):
+        a = [(1.0, 0.0)]
+        b = [(1.0, 0.0), (2.0, 0.0)]
+        m = ERP(gap=(2.0, 0.0))
+        assert m.distance(a, b) == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            erp([(0, 0)], [])
+
+
+class TestEngineFallback:
+    """EDR/ERP queries run through the engine via a verified full scan."""
+
+    @pytest.fixture(scope="class")
+    def engine_and_data(self):
+        rng = random.Random(7)
+        bounds = SpaceBounds(0, 0, 1, 1)
+        data = []
+        for i in range(60):
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            pts = [(x, y)]
+            for _ in range(rng.randint(2, 10)):
+                x = min(0.99, max(0, x + rng.uniform(-0.01, 0.01)))
+                y = min(0.99, max(0, y + rng.uniform(-0.01, 0.01)))
+                pts.append((x, y))
+            data.append(Trajectory(f"t{i}", pts))
+        cfg = TraSSConfig(bounds=bounds, max_resolution=8, shards=2)
+        return TraSS.build(data, cfg), data
+
+    @pytest.mark.parametrize("measure", ["edr", "erp"])
+    def test_threshold_fallback_matches_brute(self, engine_and_data, measure):
+        engine, data = engine_and_data
+        m = get_measure(measure)
+        q = data[0]
+        eps = 3.0 if measure == "edr" else 0.5
+        got = set(engine.threshold_search(q, eps, measure=measure).answers)
+        want = {t.tid for t in data if m.distance(q.points, t.points) <= eps}
+        assert got == want
+
+    @pytest.mark.parametrize("measure", ["edr", "erp"])
+    def test_topk_fallback_matches_brute(self, engine_and_data, measure):
+        engine, data = engine_and_data
+        m = get_measure(measure)
+        q = data[3]
+        got = engine.topk_search(q, 5, measure=measure)
+        want = sorted((m.distance(q.points, t.points), t.tid) for t in data)[:5]
+        assert [round(d, 9) for d, _ in got.answers] == [
+            round(d, 9) for d, _ in want
+        ]
+
+    def test_fallback_scans_everything(self, engine_and_data):
+        engine, data = engine_and_data
+        result = engine.threshold_search(data[0], 2.0, measure="edr")
+        assert result.candidates == len(data)

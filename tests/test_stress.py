@@ -1,0 +1,146 @@
+"""Randomised end-to-end stress tests.
+
+Heavier-weight checks run last: many random engines with random
+configurations must all agree with brute force; a mixed-workload store
+with flushes, compactions, deletions-by-overwrite and persistence must
+stay consistent throughout.
+"""
+
+import random
+
+import pytest
+
+from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro.measures import get_measure
+
+
+def random_dataset(rng, n, cluster_fraction=0.4):
+    data = []
+    for i in range(n):
+        if rng.random() < cluster_fraction:
+            cx = 0.2 + 0.6 * (i % 3) / 3
+            x, y = cx + rng.uniform(-0.02, 0.02), 0.5 + rng.uniform(-0.02, 0.02)
+        else:
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+        pts = [(x, y)]
+        for _ in range(rng.randint(1, 25)):
+            x = min(0.999, max(0.0, x + rng.uniform(-0.008, 0.008)))
+            y = min(0.999, max(0.0, y + rng.uniform(-0.008, 0.008)))
+            pts.append((x, y))
+        data.append(Trajectory(f"t{i}", pts))
+    return data
+
+
+class TestRandomisedEngines:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_config_threshold_exact(self, trial):
+        rng = random.Random(1000 + trial)
+        data = random_dataset(rng, rng.randint(40, 150))
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1),
+            max_resolution=rng.choice([6, 9, 12, 16]),
+            dp_tolerance=rng.choice([0.001, 0.01, 0.05]),
+            shards=rng.choice([1, 3, 8]),
+            max_region_rows=rng.choice([25, 1000]),
+        )
+        engine = TraSS.build(data, cfg)
+        measure = get_measure(rng.choice(["frechet", "hausdorff", "dtw"]))
+        for _ in range(3):
+            q = data[rng.randrange(len(data))]
+            eps = rng.choice([0.005, 0.02, 0.08])
+            got = set(
+                engine.threshold_search(q, eps, measure=measure.name).answers
+            )
+            want = {
+                t.tid
+                for t in data
+                if measure.distance(q.points, t.points) <= eps
+            }
+            assert got == want, (trial, cfg.max_resolution, measure.name)
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_random_config_topk_exact(self, trial):
+        rng = random.Random(2000 + trial)
+        data = random_dataset(rng, rng.randint(40, 120))
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1),
+            max_resolution=rng.choice([8, 12]),
+            dp_tolerance=0.01,
+            shards=rng.choice([1, 4]),
+        )
+        engine = TraSS.build(data, cfg)
+        measure = get_measure("frechet")
+        q = data[rng.randrange(len(data))]
+        k = rng.choice([1, 7, 20])
+        got = engine.topk_search(q, k)
+        want = sorted(
+            (measure.distance(q.points, t.points), t.tid) for t in data
+        )[:k]
+        assert [round(d, 9) for d, _ in got.answers] == [
+            round(d, 9) for d, _ in want
+        ]
+
+
+class TestMixedWorkloadLifecycle:
+    def test_ingest_query_persist_requery(self, tmp_path):
+        """A full lifecycle: incremental ingest with maintenance events
+        interleaved, then persistence, then identical answers."""
+        rng = random.Random(3000)
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1),
+            max_resolution=10,
+            shards=2,
+            max_region_rows=30,
+        )
+        engine = TraSS(cfg)
+        all_data = []
+        for batch in range(4):
+            batch_data = [
+                Trajectory(f"b{batch}_{t.tid}", t.points)
+                for t in random_dataset(rng, 40)
+            ]
+            engine.add_all(batch_data, sorted_ingest=(batch % 2 == 0))
+            all_data.extend(batch_data)
+            if batch % 2 == 1:
+                engine.store.table.flush_all()
+            if batch == 2:
+                engine.store.table.compact_all()
+        assert len(engine) == 160
+
+        measure = get_measure("frechet")
+        q = all_data[37]
+        eps = 0.03
+        want = {
+            t.tid
+            for t in all_data
+            if measure.distance(q.points, t.points) <= eps
+        }
+        assert set(engine.threshold_search(q, eps).answers) == want
+
+        engine.save(str(tmp_path / "store"))
+        restored = TraSS.load(str(tmp_path / "store"))
+        assert set(restored.threshold_search(q, eps).answers) == want
+        assert restored.store.table.num_regions == engine.store.table.num_regions
+
+    def test_many_regions_many_shards(self):
+        """Splits + salting together must preserve global correctness."""
+        rng = random.Random(4000)
+        data = random_dataset(rng, 300)
+        cfg = TraSSConfig(
+            bounds=SpaceBounds(0, 0, 1, 1),
+            max_resolution=12,
+            shards=16,
+            max_region_rows=20,
+        )
+        engine = TraSS.build(data, cfg)
+        assert engine.store.table.num_regions >= 8
+        measure = get_measure("frechet")
+        for qi in (0, 150, 299):
+            q = data[qi]
+            got = set(engine.threshold_search(q, 0.02).answers)
+            want = {
+                t.tid
+                for t in data
+                if measure.distance(q.points, t.points) <= 0.02
+            }
+            assert got == want
