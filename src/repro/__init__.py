@@ -26,8 +26,12 @@ from repro.exceptions import (
     IndexingError,
     KVStoreError,
     QueryError,
+    RegionUnavailableError,
     ReproError,
+    ScanTimeoutError,
+    TransientError,
 )
+from repro.kvstore.faults import FaultInjector, FaultSchedule, SimulatedCrash
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
 from repro.geometry.trajectory import Trajectory
@@ -58,5 +62,11 @@ __all__ = [
     "EncodingError",
     "KVStoreError",
     "QueryError",
+    "TransientError",
+    "RegionUnavailableError",
+    "ScanTimeoutError",
+    "FaultInjector",
+    "FaultSchedule",
+    "SimulatedCrash",
     "__version__",
 ]

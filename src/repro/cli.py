@@ -8,6 +8,7 @@ Build a persistent TraSS store from a trajectory CSV and query it::
     python -m repro.cli threshold --store ./store --query-tid taxi42 --eps 0.01
     python -m repro.cli topk      --store ./store --query-tid taxi42 --k 10
     python -m repro.cli range     --store ./store --window 116.0 39.6 116.5 40.0
+    python -m repro.cli chaos  --queries 10 --seed 7 --unavailable-prob 0.3
 
 The CSV format is the one :mod:`repro.data.io` writes: a ``tid,x,y``
 header and one point per row, points of a trajectory consecutive.
@@ -18,6 +19,7 @@ Queries take either ``--query-tid`` (a stored trajectory) or
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional
@@ -128,6 +130,123 @@ def _range(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos(args: argparse.Namespace) -> int:
+    """Run a seeded chaos schedule against a workload and report.
+
+    Every query runs twice — fault-free, then under the injector — and
+    the report states whether retries masked every transient fault
+    (answer parity) or, in degraded mode, how complete the partial
+    answers were and which key ranges were skipped.
+    """
+    from repro.core.config import TraSSConfig as _Cfg
+    from repro.kvstore.faults import FaultInjector, FaultSchedule
+
+    if args.store:
+        engine = TraSS.load(args.store)
+        # The stored config wins except for the resilience knobs the
+        # chaos run is explicitly exercising.
+        executor = engine.store.executor
+        executor.degraded_mode = args.degraded
+        executor.deadline_seconds = args.deadline
+        executor.policy = dataclasses.replace(
+            executor.policy, max_attempts=args.retry_attempts
+        )
+        trajectories = [r.as_trajectory() for r in engine.store.all_records()]
+    else:
+        from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+
+        trajectories = tdrive_like(args.trajectories, seed=args.seed)
+        config = _Cfg(
+            bounds=TDRIVE_BOUNDS,
+            max_resolution=12,
+            dp_tolerance=0.005,
+            shards=args.shards,
+            degraded_mode=args.degraded,
+            scan_deadline_seconds=args.deadline,
+            retry_max_attempts=args.retry_attempts,
+        )
+        engine = TraSS.build(trajectories, config)
+    if not trajectories:
+        print("no trajectories to run chaos against", file=sys.stderr)
+        return 1
+    queries = trajectories[: args.queries]
+
+    # Fault-free baseline.
+    baseline = []
+    for q in queries:
+        t = engine.threshold_search(q, args.eps)
+        k = engine.topk_search(q, args.k)
+        baseline.append((set(t.answers), [tid for _, tid in k.answers]))
+
+    schedule = FaultSchedule(
+        seed=args.seed,
+        region_unavailable_prob=args.unavailable_prob,
+        max_consecutive_failures=args.max_consecutive,
+        slow_region_prob=args.slow_prob,
+        slow_region_seconds=args.slow_seconds,
+        split_prob=args.split_prob,
+        compact_prob=args.compact_prob,
+    )
+    injector = FaultInjector(schedule)
+    engine.install_fault_injector(injector)
+    before = engine.metrics.snapshot()
+    matches = 0
+    completenesses: List[float] = []
+    skipped_total = 0
+    try:
+        for (base_threshold, base_topk), q in zip(baseline, queries):
+            t = engine.threshold_search(q, args.eps)
+            k = engine.topk_search(q, args.k)
+            completenesses.extend([t.completeness, k.completeness])
+            skipped_total += len(t.skipped_ranges) + len(k.skipped_ranges)
+            if (
+                set(t.answers) == base_threshold
+                and [tid for _, tid in k.answers] == base_topk
+            ):
+                matches += 1
+    finally:
+        engine.install_fault_injector(None)
+    delta = engine.metrics.diff(before)
+    injected = injector.summary()
+
+    min_completeness = min(completenesses)
+    mean_completeness = sum(completenesses) / len(completenesses)
+    print(f"chaos report (seed={args.seed})")
+    print(
+        f"  workload:        {len(trajectories)} trajectories, "
+        f"{len(queries)} threshold + {len(queries)} top-k queries"
+    )
+    print(
+        f"  faults injected: {injected['region_outages']} region outages, "
+        f"{injected['slow_regions']} slow regions, "
+        f"{injected['forced_splits']} forced splits, "
+        f"{injected['forced_compactions']} forced compactions"
+    )
+    print(
+        f"  retries:         {delta['retries']} "
+        f"(virtual latency {injected['virtual_latency_seconds']:.2f}s)"
+    )
+    print(f"  breaker trips:   {delta['breaker_trips']}")
+    print(f"  degraded mode:   {'on' if args.degraded else 'off'}")
+    print(f"  skipped ranges:  {skipped_total}")
+    print(
+        f"  completeness:    min {min_completeness:.3f} / "
+        f"mean {mean_completeness:.3f}"
+    )
+    print(
+        f"  answer parity:   {matches}/{len(queries)} queries identical "
+        f"to the fault-free run"
+    )
+    if args.degraded:
+        print("DEGRADED RUN: partial answers above are annotated, not lost")
+        return 0
+    if matches == len(queries):
+        print("RESILIENT: every transient fault was masked by retries")
+        return 0
+    print("NOT RESILIENT: some faulted answers diverged", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -187,6 +306,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     range_.set_defaults(func=_range)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection schedule and report resilience",
+    )
+    chaos.add_argument(
+        "--store",
+        help="existing store to attack (default: a synthetic workload)",
+    )
+    chaos.add_argument(
+        "--trajectories",
+        type=int,
+        default=150,
+        help="synthetic workload size when no --store is given",
+    )
+    chaos.add_argument("--queries", type=int, default=10)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--eps", type=float, default=0.02)
+    chaos.add_argument("--k", type=int, default=5)
+    chaos.add_argument(
+        "--unavailable-prob",
+        type=float,
+        default=0.25,
+        help="per region-scan probability of a transient outage",
+    )
+    chaos.add_argument(
+        "--max-consecutive",
+        type=int,
+        default=2,
+        help="cap on back-to-back failures of one region",
+    )
+    chaos.add_argument("--slow-prob", type=float, default=0.1)
+    chaos.add_argument(
+        "--slow-seconds",
+        type=float,
+        default=0.05,
+        help="virtual latency charged per slow region scan",
+    )
+    chaos.add_argument("--split-prob", type=float, default=0.02)
+    chaos.add_argument("--compact-prob", type=float, default=0.02)
+    chaos.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=6,
+        help="scan attempts per range (must exceed --max-consecutive "
+        "for full masking)",
+    )
+    chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-query scan budget in seconds (virtual latency counts)",
+    )
+    chaos.add_argument(
+        "--degraded",
+        action="store_true",
+        help="return partial results instead of failing exhausted ranges",
+    )
+    chaos.set_defaults(func=_chaos)
+
     return parser
 
 
@@ -195,7 +374,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
+        # ValueError covers bad schedule/config parameters (e.g. a
+        # probability outside [0, 1]) so they fail like other CLI
+        # errors instead of with a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -11,6 +11,12 @@ public facade.
 """
 
 from repro.core.config import TraSSConfig
+from repro.core.executor import (
+    CircuitBreaker,
+    ResilientExecutor,
+    RetryPolicy,
+    ScanReport,
+)
 from repro.core.storage import TrajectoryRecord, TrajectoryStore
 from repro.core.pruning import GlobalPruner, PruningResult
 from repro.core.local_filter import LocalFilter
@@ -20,6 +26,10 @@ from repro.core.engine import TraSS
 
 __all__ = [
     "TraSSConfig",
+    "CircuitBreaker",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "ScanReport",
     "TrajectoryRecord",
     "TrajectoryStore",
     "GlobalPruner",

@@ -36,6 +36,28 @@ class TraSSConfig:
     range_merge_gap: int = 0
     #: region auto-split threshold (rows)
     max_region_rows: int = 100_000
+    # ------------------------------------------------------------------
+    # Resilient execution (retry / backoff / degraded mode); defaults
+    # mask any transient fault the deterministic injector produces
+    # (retry_max_attempts > FaultSchedule.max_consecutive_failures).
+    # ------------------------------------------------------------------
+    #: scan attempts per key range before giving up (1 = no retry)
+    retry_max_attempts: int = 4
+    #: first backoff delay in seconds (doubles each retry)
+    retry_backoff_base: float = 0.01
+    #: backoff ceiling in seconds
+    retry_backoff_max: float = 1.0
+    #: proportional jitter added to each delay (0 = none, 0.25 = +0-25%)
+    retry_jitter: float = 0.25
+    #: per-query scan time budget in seconds (None = unlimited)
+    scan_deadline_seconds: Optional[float] = None
+    #: return partial results (with completeness accounting) instead of
+    #: raising when a range cannot be scanned
+    degraded_mode: bool = False
+    #: consecutive per-region failures that open its circuit breaker
+    breaker_failure_threshold: int = 5
+    #: seconds an open breaker rejects a region before a retry probe
+    breaker_cooldown_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.shards < 1 or self.shards > 256:
@@ -52,6 +74,35 @@ class TraSSConfig:
             raise QueryError(
                 "max_planned_elements must be >= 16, got "
                 f"{self.max_planned_elements}"
+            )
+        if self.retry_max_attempts < 1:
+            raise QueryError(
+                f"retry_max_attempts must be >= 1, got "
+                f"{self.retry_max_attempts}"
+            )
+        if self.retry_backoff_base < 0 or self.retry_backoff_max < 0:
+            raise QueryError("retry backoff delays must be non-negative")
+        if self.retry_jitter < 0:
+            raise QueryError(
+                f"retry_jitter must be non-negative, got {self.retry_jitter}"
+            )
+        if (
+            self.scan_deadline_seconds is not None
+            and self.scan_deadline_seconds <= 0
+        ):
+            raise QueryError(
+                "scan_deadline_seconds must be positive or None, got "
+                f"{self.scan_deadline_seconds}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise QueryError(
+                "breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown_seconds < 0:
+            raise QueryError(
+                "breaker_cooldown_seconds must be non-negative, got "
+                f"{self.breaker_cooldown_seconds}"
             )
 
     def make_measure(self) -> Measure:

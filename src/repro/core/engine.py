@@ -86,6 +86,21 @@ class TraSS:
         return get_measure(measure)
 
     # ------------------------------------------------------------------
+    # Fault injection / resilience
+    # ------------------------------------------------------------------
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.kvstore.faults.FaultInjector` to the
+        underlying table (``None`` detaches).  Query scans then face the
+        injector's schedule and survive it via the resilient executor —
+        the entry point of the chaos suite and the ``repro chaos`` CLI.
+        """
+        self.store.install_fault_injector(injector)
+
+    @property
+    def fault_injector(self):
+        return self.store.table.fault_injector
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def threshold_search(
@@ -237,9 +252,10 @@ class TraSS:
         """
         ranges = self.store.index.range_query_ranges(window)
         tids: List[str] = []
-        for key, value in self.store.table.scan_ranges(
+        rows, _ = self.store.executor.scan_ranges(
             self.store.scan_ranges_for(ranges)
-        ):
+        )
+        for key, value in rows:
             record = self.store.decode_record(key, value)
             if any(window.contains_point(x, y) for x, y in record.points):
                 tids.append(record.tid)

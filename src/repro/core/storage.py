@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.codec import decode_row, encode_row
 from repro.core.config import TraSSConfig
+from repro.core.executor import ResilientExecutor
 from repro.exceptions import KVStoreError, QueryError
 from repro.features.dp_features import DPFeatures, extract_dp_features
 from repro.geometry.trajectory import Trajectory
@@ -70,6 +71,9 @@ class TrajectoryStore:
             name="trajectory",
             max_region_rows=self.config.max_region_rows,
         )
+        #: every query-path range scan goes through this executor
+        #: (retry / backoff / circuit breaker / degraded mode)
+        self.executor = ResilientExecutor.from_config(self.table, self.config)
         self.trajectory_count = 0
         #: index value -> number of stored trajectories (distribution stats)
         self.value_histogram: Dict[int, int] = {}
@@ -77,6 +81,16 @@ class TrajectoryStore:
     @property
     def metrics(self) -> IOMetrics:
         return self.table.metrics
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach (or with ``None`` detach) a
+        :class:`~repro.kvstore.faults.FaultInjector` to the table.
+
+        Either direction starts a fresh fault epoch: circuits opened
+        under the previous schedule (and accumulated virtual backoff)
+        are reset so they cannot short-circuit the next run's scans."""
+        self.table.fault_injector = injector
+        self.executor.reset()
 
     # ------------------------------------------------------------------
     # Write path
@@ -276,6 +290,18 @@ class TrajectoryStore:
                 "max_planned_elements": self.config.max_planned_elements,
                 "range_merge_gap": self.config.range_merge_gap,
                 "max_region_rows": self.config.max_region_rows,
+                "retry_max_attempts": self.config.retry_max_attempts,
+                "retry_backoff_base": self.config.retry_backoff_base,
+                "retry_backoff_max": self.config.retry_backoff_max,
+                "retry_jitter": self.config.retry_jitter,
+                "scan_deadline_seconds": self.config.scan_deadline_seconds,
+                "degraded_mode": self.config.degraded_mode,
+                "breaker_failure_threshold": (
+                    self.config.breaker_failure_threshold
+                ),
+                "breaker_cooldown_seconds": (
+                    self.config.breaker_cooldown_seconds
+                ),
             },
         }
         with open(os.path.join(directory, "STORE.json"), "w") as fh:
@@ -310,9 +336,24 @@ class TrajectoryStore:
             max_planned_elements=cfg_raw["max_planned_elements"],
             range_merge_gap=cfg_raw["range_merge_gap"],
             max_region_rows=cfg_raw["max_region_rows"],
+            retry_max_attempts=cfg_raw.get("retry_max_attempts", 4),
+            retry_backoff_base=cfg_raw.get("retry_backoff_base", 0.01),
+            retry_backoff_max=cfg_raw.get("retry_backoff_max", 1.0),
+            retry_jitter=cfg_raw.get("retry_jitter", 0.25),
+            scan_deadline_seconds=cfg_raw.get("scan_deadline_seconds"),
+            degraded_mode=cfg_raw.get("degraded_mode", False),
+            breaker_failure_threshold=cfg_raw.get(
+                "breaker_failure_threshold", 5
+            ),
+            breaker_cooldown_seconds=cfg_raw.get(
+                "breaker_cooldown_seconds", 30.0
+            ),
         )
         store = cls(config, meta["key_encoding"])
         store.table = load_table(directory)
+        # The executor built in __init__ points at the discarded empty
+        # table; rebind it to the restored one.
+        store.executor = ResilientExecutor.from_config(store.table, config)
         for key, value in store.table.full_scan():
             record = store.decode_record(key, value)
             store.trajectory_count += 1

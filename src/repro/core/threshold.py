@@ -9,13 +9,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.executor import ScanReport
 from repro.core.local_filter import LocalFilter, LocalFilterRowFilter
 from repro.core.pruning import GlobalPruner, PruningResult
 from repro.core.storage import TrajectoryRecord, TrajectoryStore
 from repro.exceptions import QueryError
 from repro.geometry.trajectory import Trajectory
+from repro.kvstore.table import ScanRange
 from repro.measures.base import Measure
 
 
@@ -33,6 +35,9 @@ class ThresholdSearchResult:
     pruning_seconds: float
     scan_seconds: float
     refine_seconds: float
+    #: retry / degraded-mode accounting for the scan phase (None for
+    #: paths that bypass the key-value scan, e.g. full-scan fallbacks)
+    resilience: Optional[ScanReport] = None
 
     @property
     def precision(self) -> float:
@@ -44,6 +49,21 @@ class ThresholdSearchResult:
     @property
     def total_seconds(self) -> float:
         return self.pruning_seconds + self.scan_seconds + self.refine_seconds
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of planned key ranges fully scanned (1.0 = every
+        answer is present; < 1.0 only in degraded mode under faults)."""
+        if self.resilience is None:
+            return 1.0
+        return self.resilience.completeness
+
+    @property
+    def skipped_ranges(self) -> List[ScanRange]:
+        """Exactly the key ranges degraded mode left unscanned."""
+        if self.resilience is None:
+            return []
+        return list(self.resilience.skipped_ranges)
 
 
 def threshold_search(
@@ -72,7 +92,7 @@ def threshold_search(
     row_filter = LocalFilterRowFilter(local)
     before = store.metrics.snapshot()
     started = time.perf_counter()
-    rows = store.table.scan_ranges(scan_ranges, row_filter)
+    rows, scan_report = store.executor.scan_ranges(scan_ranges, row_filter)
     scan_seconds = time.perf_counter() - started
     retrieved = store.metrics.diff(before)["rows_scanned"]
 
@@ -92,4 +112,5 @@ def threshold_search(
         pruning_seconds=pruning_seconds,
         scan_seconds=scan_seconds,
         refine_seconds=refine_seconds,
+        resilience=scan_report,
     )

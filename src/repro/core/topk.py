@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.executor import ScanReport
 from repro.core.local_filter import LocalFilter, LocalFilterRowFilter
 from repro.core.pruning import GlobalPruner, min_points_rect_distance
 from repro.core.storage import TrajectoryStore
@@ -61,10 +62,28 @@ class TopKSearchResult:
     units_scanned: int
     elements_expanded: int
     total_seconds: float
+    #: retry / degraded-mode accounting across every scanned unit
+    #: (None for paths that bypass the key-value scan)
+    resilience: Optional[ScanReport] = None
 
     @property
     def worst_distance(self) -> float:
         return self.answers[-1][0] if self.answers else math.inf
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of planned key ranges fully scanned; < 1.0 means
+        the k answers may miss trajectories from skipped ranges."""
+        if self.resilience is None:
+            return 1.0
+        return self.resilience.completeness
+
+    @property
+    def skipped_ranges(self) -> List:
+        """Exactly the key ranges degraded mode left unscanned."""
+        if self.resilience is None:
+            return []
+        return list(self.resilience.skipped_ranges)
 
 
 def topk_search(
@@ -197,6 +216,9 @@ def topk_search(
             for child in element.children():
                 push_element(child)
 
+    scan_report = ScanReport()
+    deadline = store.executor.deadline_from_now()
+
     def materialise(unit: IndexRange) -> None:
         """Scan one unit, filter locally, refine survivors.
 
@@ -204,13 +226,20 @@ def topk_search(
         can tighten the working threshold, so later rows of the same
         unit already face the shrunk ``eps`` — important when a unit is
         a collapsed subtree holding many rows.
+
+        The per-range scans run under the resilient executor; a retry
+        after a mid-range transient fault re-streams the range, and the
+        ``seen_tids`` check makes re-refinement a no-op, so answers
+        stay exact under masked faults.
         """
         nonlocal candidates, retrieved, units_scanned
         units_scanned += 1
         local.set_threshold(current_eps())
         row_filter = LocalFilterRowFilter(local)
         before = store.metrics.snapshot()
-        for scan_range in store.scan_ranges_for([unit]):
+
+        def consume(scan_range) -> None:
+            nonlocal candidates
             for key, _ in store.table.scan(
                 scan_range.start, scan_range.stop, row_filter
             ):
@@ -225,9 +254,18 @@ def topk_search(
                 elif dist < -results[0][0]:
                     heapq.heapreplace(results, (-dist, record.tid))
                 local.set_threshold(current_eps())
+
+        store.executor.execute(
+            store.scan_ranges_for([unit]),
+            consume,
+            report=scan_report,
+            deadline=deadline,
+        )
         retrieved += store.metrics.diff(before)["rows_scanned"]
 
     while eq or iq:
+        if scan_report.deadline_exceeded:
+            break  # budget spent; completeness accounting says how much
         eps = current_eps()
         eq_top = eq[0][0] if eq else math.inf
         iq_top = iq[0][0] if iq else math.inf
@@ -248,4 +286,5 @@ def topk_search(
         units_scanned=units_scanned,
         elements_expanded=elements_expanded,
         total_seconds=time.perf_counter() - started,
+        resilience=scan_report,
     )

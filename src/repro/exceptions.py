@@ -48,6 +48,35 @@ class CorruptSSTableError(KVStoreError):
     """An SSTable failed its integrity check when opened or read."""
 
 
+class TransientError(KVStoreError):
+    """A retryable store failure; the operation may succeed if repeated.
+
+    Resilient executors treat this class (and subclasses) as the signal
+    that retry-with-backoff is worthwhile; every other error is
+    permanent and propagates immediately.
+    """
+
+
+class RegionUnavailableError(TransientError):
+    """A region (shard) refused a scan — the region-server is down,
+    moving, or mid-recovery.  Carries the region's key span so circuit
+    breakers can track failures per region."""
+
+    def __init__(self, message: str, region_span=None):
+        super().__init__(message)
+        #: ``(start_key, end_key)`` of the failing region, or ``None``
+        self.region_span = region_span
+
+
+class ScanTimeoutError(KVStoreError):
+    """A multi-range scan exhausted its deadline budget.
+
+    Not transient: retrying inside the same query cannot help once the
+    budget is spent.  In degraded mode the executor converts this into
+    skipped ranges instead of raising.
+    """
+
+
 class QueryError(ReproError):
     """Invalid query parameter (negative threshold, k < 1, ...)."""
 

@@ -25,6 +25,12 @@ from repro.kvstore.region import Region
 from repro.kvstore.filters import RowFilter, AcceptAllFilter, PredicateFilter
 from repro.kvstore.table import KVTable, ScanRange
 from repro.kvstore.wal import WriteAheadLog
+from repro.kvstore.faults import (
+    ALL_CRASH_SITES,
+    FaultInjector,
+    FaultSchedule,
+    SimulatedCrash,
+)
 from repro.kvstore.cache import LRUCache, CachedKVTable
 from repro.kvstore.cluster import ClusterModel
 from repro.kvstore.compaction import (
@@ -56,6 +62,10 @@ __all__ = [
     "KVTable",
     "ScanRange",
     "WriteAheadLog",
+    "ALL_CRASH_SITES",
+    "FaultInjector",
+    "FaultSchedule",
+    "SimulatedCrash",
     "LRUCache",
     "CachedKVTable",
     "ClusterModel",

@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the embedded key-value store.
+
+The paper's system runs on a five-node HBase cluster where regions move,
+region-servers stall, splits and compactions race scans, and processes
+die mid-write.  The embedded store cannot *encounter* any of that, so
+this module *manufactures* it, reproducibly: a :class:`FaultInjector`
+installed on a :class:`~repro.kvstore.table.KVTable` consults a seeded
+schedule at well-defined hook points and
+
+* raises transient :class:`~repro.exceptions.RegionUnavailableError`\\ s
+  when a region scan starts (at most ``max_consecutive_failures`` in a
+  row per region, so a retrying caller with a larger attempt budget is
+  *guaranteed* to eventually succeed);
+* charges virtual latency against slow regions (straggler simulation —
+  accounted on :attr:`FaultInjector.virtual_seconds`, never slept, so
+  chaos suites stay fast while deadline budgets still fire);
+* forces region splits and compactions in the middle of an ongoing
+  scan (the classic HBase race);
+* simulates process death at named *crash points* on the durable write
+  path (WAL append, memtable flush, checkpoint file writes) by raising
+  :class:`SimulatedCrash` — deliberately a ``BaseException`` so no
+  ``except Exception`` recovery path can accidentally swallow a "kill".
+
+Everything is driven by one ``random.Random(seed)`` stream plus
+per-site hit counters, so a given schedule replays identically:
+same seed, same workload, same faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import RegionUnavailableError
+
+# ----------------------------------------------------------------------
+# Crash-point sites (the durable write path, in execution order).
+# ----------------------------------------------------------------------
+CRASH_WAL_APPEND_PRE = "wal.append.pre"
+#: a torn record: half the payload reaches the file, then the crash
+CRASH_WAL_APPEND_TORN = "wal.append.torn"
+CRASH_WAL_APPEND_POST = "wal.append.post"
+CRASH_MEMTABLE_FLUSH_PRE = "memtable.flush.pre"
+CRASH_MEMTABLE_FLUSH_POST = "memtable.flush.post"
+CRASH_CHECKPOINT_REGION_PRE = "checkpoint.region-file.pre"
+#: a torn SSTable file: half the bytes land, then the crash
+CRASH_CHECKPOINT_REGION_TORN = "checkpoint.region-file.torn"
+CRASH_CHECKPOINT_MANIFEST_PRE = "checkpoint.manifest.pre"
+#: a torn temporary manifest (never renamed into place)
+CRASH_CHECKPOINT_MANIFEST_TORN = "checkpoint.manifest.torn"
+CRASH_CHECKPOINT_MANIFEST_POST = "checkpoint.manifest.post"
+CRASH_CHECKPOINT_WAL_TRUNCATE_PRE = "checkpoint.wal-truncate.pre"
+
+ALL_CRASH_SITES = (
+    CRASH_WAL_APPEND_PRE,
+    CRASH_WAL_APPEND_TORN,
+    CRASH_WAL_APPEND_POST,
+    CRASH_MEMTABLE_FLUSH_PRE,
+    CRASH_MEMTABLE_FLUSH_POST,
+    CRASH_CHECKPOINT_REGION_PRE,
+    CRASH_CHECKPOINT_REGION_TORN,
+    CRASH_CHECKPOINT_MANIFEST_PRE,
+    CRASH_CHECKPOINT_MANIFEST_TORN,
+    CRASH_CHECKPOINT_MANIFEST_POST,
+    CRASH_CHECKPOINT_WAL_TRUNCATE_PRE,
+)
+
+
+class SimulatedCrash(BaseException):
+    """Process death injected at a crash point.
+
+    Derives from ``BaseException`` on purpose: a simulated kill must
+    tear through every ``except Exception`` / ``except ReproError``
+    handler exactly like a real ``kill -9`` would.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+
+
+@dataclass
+class FaultSchedule:
+    """A seeded, declarative description of what to inject.
+
+    Probabilities are evaluated per *region-scan start* (availability,
+    latency, disruption) on one shared RNG stream, so a schedule is a
+    pure function of ``(seed, workload)``.
+    """
+
+    seed: int = 0
+    #: probability a region scan fails with RegionUnavailableError
+    region_unavailable_prob: float = 0.0
+    #: cap on back-to-back failures of one region (transience guarantee)
+    max_consecutive_failures: int = 2
+    #: probability a region scan is a straggler
+    slow_region_prob: float = 0.0
+    #: virtual seconds charged per straggler scan
+    slow_region_seconds: float = 0.05
+    #: probability a region scan schedules a forced mid-scan split
+    split_prob: float = 0.0
+    #: probability a region scan schedules a forced mid-scan compaction
+    compact_prob: float = 0.0
+    #: crash site -> 1-based hit index at which to die
+    crash_sites: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "region_unavailable_prob",
+            "slow_region_prob",
+            "split_prob",
+            "compact_prob",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.max_consecutive_failures < 1:
+            raise ValueError(
+                "max_consecutive_failures must be >= 1, got "
+                f"{self.max_consecutive_failures}"
+            )
+        if self.slow_region_seconds < 0:
+            raise ValueError(
+                f"slow_region_seconds must be >= 0, got "
+                f"{self.slow_region_seconds}"
+            )
+        unknown = set(self.crash_sites) - set(ALL_CRASH_SITES)
+        if unknown:
+            raise ValueError(f"unknown crash sites: {sorted(unknown)}")
+
+
+RegionSpan = Tuple[Optional[bytes], Optional[bytes]]
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against a table's hook points.
+
+    Install with ``table.fault_injector = FaultInjector(schedule)`` (or
+    :meth:`TraSS.install_fault_injector`); remove by setting the
+    attribute back to ``None``.  One injector should serve one table —
+    its RNG stream and per-region state are not meant to be shared.
+    """
+
+    def __init__(self, schedule: Optional[FaultSchedule] = None):
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self._rng = random.Random(self.schedule.seed)
+        #: virtual seconds of injected latency (charged, never slept)
+        self.virtual_seconds = 0.0
+        # Tallies (also mirrored into the table's IOMetrics where they
+        # describe I/O the table experienced).
+        self.unavailable_injected = 0
+        self.latency_injected = 0
+        self.forced_splits = 0
+        self.forced_compactions = 0
+        self.crashes: List[str] = []
+        self._consecutive: Dict[RegionSpan, int] = {}
+        self._hits: Dict[str, int] = {}
+        #: pending mid-scan disruption: (kind, rows-until-trigger)
+        self._disruption: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Scan-path hooks (called by KVTable.scan)
+    # ------------------------------------------------------------------
+    def on_region_scan_start(self, table, region) -> None:
+        """Hook at the start of one region's contribution to a scan.
+
+        May raise :class:`RegionUnavailableError`, charge straggler
+        latency, or arm a mid-scan split/compaction.
+        """
+        sched = self.schedule
+        span: RegionSpan = (region.start_key, region.end_key)
+        if sched.region_unavailable_prob > 0.0:
+            fails = self._consecutive.get(span, 0)
+            if (
+                fails < sched.max_consecutive_failures
+                and self._rng.random() < sched.region_unavailable_prob
+            ):
+                self._consecutive[span] = fails + 1
+                self.unavailable_injected += 1
+                table.metrics.faults_injected += 1
+                raise RegionUnavailableError(
+                    f"injected outage of region [{region.start_key!r}, "
+                    f"{region.end_key!r}) (consecutive failure "
+                    f"{fails + 1}/{sched.max_consecutive_failures})",
+                    region_span=span,
+                )
+            self._consecutive[span] = 0
+        if (
+            sched.slow_region_prob > 0.0
+            and self._rng.random() < sched.slow_region_prob
+        ):
+            self.virtual_seconds += sched.slow_region_seconds
+            self.latency_injected += 1
+        if sched.split_prob > 0.0 and self._rng.random() < sched.split_prob:
+            self._disruption = ("split", self._rng.randint(1, 5))
+        elif (
+            sched.compact_prob > 0.0
+            and self._rng.random() < sched.compact_prob
+        ):
+            self._disruption = ("compact", self._rng.randint(1, 5))
+
+    def on_row_scanned(self, table, region) -> None:
+        """Hook after each row a scan touches; fires armed disruptions.
+
+        The disruption races the *ongoing* scan on purpose: the scan
+        holds iterators over the pre-split / pre-compaction structures
+        (which both operations leave intact), so exactly-once delivery
+        is preserved — the property the race tests pin down.
+        """
+        if self._disruption is None:
+            return
+        kind, countdown = self._disruption
+        if countdown > 1:
+            self._disruption = (kind, countdown - 1)
+            return
+        self._disruption = None
+        if kind == "split":
+            self._force_split(table, region)
+        else:
+            region.store.compact()
+            self.forced_compactions += 1
+
+    def _force_split(self, table, region) -> None:
+        for idx, candidate in enumerate(table.regions):
+            if candidate is region:
+                if region.row_count >= 2:
+                    table._split_region(idx)
+                    self.forced_splits += 1
+                return
+        # Region already replaced (e.g. by an earlier forced split of a
+        # scan that is still draining the old object): nothing to do.
+
+    # ------------------------------------------------------------------
+    # Crash points (called by WAL / LSM flush / persistence)
+    # ------------------------------------------------------------------
+    def should_crash(self, site: str) -> bool:
+        """True when this hit of ``site`` is the scheduled death.
+
+        Callers that need to leave torn state behind (half a WAL
+        record, half an SSTable) check this, write the partial bytes,
+        then call :meth:`crash`.
+        """
+        target = self.schedule.crash_sites.get(site)
+        if target is None:
+            return False
+        hit = self._hits.get(site, 0) + 1
+        self._hits[site] = hit
+        return hit == target
+
+    def crash(self, site: str) -> None:
+        """Record and raise the simulated death."""
+        self.crashes.append(site)
+        raise SimulatedCrash(site)
+
+    def crash_point(self, site: str) -> None:
+        """Die here iff the schedule says so (clean, non-torn sites)."""
+        if self.should_crash(site):
+            self.crash(site)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Injection tallies (the chaos CLI's report source)."""
+        return {
+            "seed": self.schedule.seed,
+            "region_outages": self.unavailable_injected,
+            "slow_regions": self.latency_injected,
+            "virtual_latency_seconds": self.virtual_seconds,
+            "forced_splits": self.forced_splits,
+            "forced_compactions": self.forced_compactions,
+            "crashes": list(self.crashes),
+        }

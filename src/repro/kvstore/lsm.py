@@ -32,6 +32,8 @@ class LSMStore:
         self.sstables: List[SSTable] = []
         self.flush_count = 0
         self.compaction_count = 0
+        #: optional FaultInjector consulted at the flush crash points
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Writes
@@ -49,12 +51,26 @@ class LSMStore:
             self.flush()
 
     def flush(self) -> None:
-        """Freeze the memtable into a new SSTable (no-op when empty)."""
+        """Freeze the memtable into a new SSTable (no-op when empty).
+
+        A crash between the two ``memtable.flush`` crash points loses
+        only in-memory state — durability always comes from the WAL +
+        checkpoint pair, which is exactly what the crash-recovery suite
+        demonstrates by killing the process here.
+        """
         if len(self.memtable) == 0:
             return
+        if self.fault_injector is not None:
+            from repro.kvstore.faults import CRASH_MEMTABLE_FLUSH_PRE
+
+            self.fault_injector.crash_point(CRASH_MEMTABLE_FLUSH_PRE)
         self.sstables.insert(0, SSTable.from_entries(self.memtable.items()))
         self.memtable = MemTable()
         self.flush_count += 1
+        if self.fault_injector is not None:
+            from repro.kvstore.faults import CRASH_MEMTABLE_FLUSH_POST
+
+            self.fault_injector.crash_point(CRASH_MEMTABLE_FLUSH_POST)
         if len(self.sstables) >= self.compaction_trigger:
             self.compact()
 

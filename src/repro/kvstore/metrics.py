@@ -10,6 +10,7 @@ survived filtering and crossed the (simulated) client boundary.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -29,21 +30,19 @@ class IOMetrics:
     regions_visited: int = 0
     filter_evaluations: int = 0
     filter_rejections: int = 0
+    #: transient faults the injector raised against this table
+    faults_injected: int = 0
+    #: range-scan attempts repeated after a transient failure
+    retries: int = 0
+    #: ranges abandoned in degraded mode (retry budget / breaker / deadline)
+    ranges_skipped: int = 0
+    #: circuit-breaker open transitions
+    breaker_trips: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of the current counters."""
         return {
-            "rows_scanned": self.rows_scanned,
-            "rows_returned": self.rows_returned,
-            "bytes_read": self.bytes_read,
-            "range_seeks": self.range_seeks,
-            "gets": self.gets,
-            "puts": self.puts,
-            "bloom_negatives": self.bloom_negatives,
-            "sstables_opened": self.sstables_opened,
-            "regions_visited": self.regions_visited,
-            "filter_evaluations": self.filter_evaluations,
-            "filter_rejections": self.filter_rejections,
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
         }
 
     def reset(self) -> None:

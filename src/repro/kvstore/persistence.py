@@ -2,14 +2,35 @@
 
 Layout::
 
-    <dir>/MANIFEST.json     table metadata + region boundaries
-    <dir>/region-00000.sst  one compacted SSTable per region
-    <dir>/wal.log           mutation log for writes after the snapshot
+    <dir>/MANIFEST.json            table metadata + region boundaries
+    <dir>/region-GGGGG-00000.sst   one compacted SSTable per region,
+                                   named by checkpoint *generation*
+    <dir>/wal.log                  mutation log for writes after the
+                                   snapshot
 
 ``save_table`` snapshots each region into an SSTable file;
 ``load_table`` restores the regions and replays any WAL tail, giving
 the embedded store the full HBase durability story in miniature:
 snapshot + log = recoverable state.
+
+Crash-safety of the checkpoint itself (the hardening a real kill
+demands):
+
+* region files are written under a fresh generation number — a
+  checkpoint never overwrites the files the current manifest points at,
+  so dying mid-write leaves the previous snapshot fully intact;
+* the manifest is written to a temporary file, fsynced, then atomically
+  ``os.replace``\\ d into place — readers see either the old or the new
+  manifest, never a torn one;
+* the WAL is deleted only *after* the new manifest is durable, so a
+  crash between those steps merely replays writes the snapshot already
+  holds (puts and deletes are idempotent);
+* stale files from superseded or aborted generations are swept last,
+  and again on the next successful checkpoint.
+
+Killing the process at any :mod:`~repro.kvstore.faults` crash point in
+this sequence therefore recovers exactly the acknowledged writes — the
+property ``tests/test_crash_recovery.py`` proves site by site.
 """
 
 from __future__ import annotations
@@ -20,13 +41,24 @@ import os
 from typing import Optional
 
 from repro.exceptions import KVStoreError
+from repro.kvstore.faults import (
+    CRASH_CHECKPOINT_MANIFEST_POST,
+    CRASH_CHECKPOINT_MANIFEST_PRE,
+    CRASH_CHECKPOINT_MANIFEST_TORN,
+    CRASH_CHECKPOINT_REGION_PRE,
+    CRASH_CHECKPOINT_REGION_TORN,
+    CRASH_CHECKPOINT_WAL_TRUNCATE_PRE,
+)
 from repro.kvstore.sstable import SSTable
 from repro.kvstore.table import KVTable
 from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
 
 MANIFEST_NAME = "MANIFEST.json"
 WAL_NAME = "wal.log"
-FORMAT_VERSION = 1
+#: version 2 added generation-numbered region files; version-1
+#: directories (un-numbered files) still load.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _encode_key(key: Optional[bytes]) -> Optional[str]:
@@ -37,14 +69,74 @@ def _decode_key(text: Optional[str]) -> Optional[bytes]:
     return None if text is None else base64.b16decode(text.encode("ascii"))
 
 
-def save_table(table: KVTable, directory: str) -> None:
-    """Snapshot ``table`` into ``directory`` (created if missing)."""
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _read_manifest(directory: str) -> dict:
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise KVStoreError(f"no manifest in {directory}") from None
+    except json.JSONDecodeError as exc:
+        raise KVStoreError(f"corrupt manifest in {directory}: {exc}") from exc
+    if manifest.get("format_version") not in _SUPPORTED_VERSIONS:
+        raise KVStoreError(
+            f"unsupported table format {manifest.get('format_version')!r}"
+        )
+    return manifest
+
+
+def _current_generation(directory: str) -> int:
+    try:
+        return int(_read_manifest(directory).get("generation", 0))
+    except KVStoreError:
+        return 0
+
+
+def _sweep_stale_files(directory: str, keep: set) -> None:
+    """Remove checkpoint debris not referenced by the live manifest."""
+    for name in os.listdir(directory):
+        if name in keep or name == WAL_NAME or name == MANIFEST_NAME:
+            continue
+        if name.endswith(".sst") or name == MANIFEST_NAME + ".tmp":
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:  # pragma: no cover - best-effort sweep
+                pass
+
+
+def save_table(table: KVTable, directory: str, fault_injector=None) -> None:
+    """Snapshot ``table`` into ``directory`` (created if missing).
+
+    The checkpoint is atomic: until the manifest rename lands, a crash
+    leaves the previous snapshot (and the WAL) untouched.
+    """
     os.makedirs(directory, exist_ok=True)
+    injector = fault_injector
+    generation = _current_generation(directory) + 1
     regions = []
     for i, region in enumerate(table.regions):
-        filename = f"region-{i:05d}.sst"
+        filename = f"region-{generation:05d}-{i:05d}.sst"
+        path = os.path.join(directory, filename)
+        if injector is not None:
+            injector.crash_point(CRASH_CHECKPOINT_REGION_PRE)
         run = SSTable.from_entries(region.store.scan())
-        run.write_to(os.path.join(directory, filename))
+        if injector is not None and injector.should_crash(
+            CRASH_CHECKPOINT_REGION_TORN
+        ):
+            blob = run.to_bytes()
+            with open(path, "wb") as fh:
+                fh.write(blob[: max(1, len(blob) // 2)])
+            injector.crash(CRASH_CHECKPOINT_REGION_TORN)
+        run.write_to(path)
+        _fsync_file(path)
         regions.append(
             {
                 "file": filename,
@@ -54,33 +146,67 @@ def save_table(table: KVTable, directory: str) -> None:
         )
     manifest = {
         "format_version": FORMAT_VERSION,
+        "generation": generation,
         "name": table.name,
         "max_region_rows": table.max_region_rows,
         "flush_threshold": table.flush_threshold,
         "regions": regions,
     }
-    with open(os.path.join(directory, MANIFEST_NAME), "w") as fh:
-        json.dump(manifest, fh, indent=2)
-    # A fresh snapshot supersedes any previous log.
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    tmp_path = manifest_path + ".tmp"
+    if injector is not None:
+        injector.crash_point(CRASH_CHECKPOINT_MANIFEST_PRE)
+    text = json.dumps(manifest, indent=2)
+    if injector is not None and injector.should_crash(
+        CRASH_CHECKPOINT_MANIFEST_TORN
+    ):
+        with open(tmp_path, "w") as fh:
+            fh.write(text[: len(text) // 2])
+        injector.crash(CRASH_CHECKPOINT_MANIFEST_TORN)
+    with open(tmp_path, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, manifest_path)
+    if injector is not None:
+        injector.crash_point(CRASH_CHECKPOINT_MANIFEST_POST)
+    # The snapshot is durable; the log it supersedes can go, and stale
+    # generations with it.
+    if injector is not None:
+        injector.crash_point(CRASH_CHECKPOINT_WAL_TRUNCATE_PRE)
     wal_path = os.path.join(directory, WAL_NAME)
     if os.path.exists(wal_path):
         os.remove(wal_path)
+    _sweep_stale_files(directory, {entry["file"] for entry in regions})
 
 
 def load_table(directory: str) -> KVTable:
-    """Restore a table saved with :func:`save_table`, replaying the WAL."""
-    manifest_path = os.path.join(directory, MANIFEST_NAME)
-    try:
-        with open(manifest_path) as fh:
-            manifest = json.load(fh)
-    except FileNotFoundError:
-        raise KVStoreError(f"no manifest in {directory}") from None
-    except json.JSONDecodeError as exc:
-        raise KVStoreError(f"corrupt manifest in {directory}: {exc}") from exc
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise KVStoreError(
-            f"unsupported table format {manifest.get('format_version')!r}"
-        )
+    """Restore a table saved with :func:`save_table`, replaying the WAL.
+
+    Tolerates every crash artefact an interrupted checkpoint can leave:
+    a stray ``MANIFEST.json.tmp``, torn or orphaned region files from an
+    aborted generation, a WAL whose contents the snapshot already
+    absorbed (replay is idempotent), and a directory with a WAL but no
+    manifest at all — a store that died before its first checkpoint.
+    A *corrupt* manifest still raises: that is data loss, not a fresh
+    store.
+    """
+    manifest: Optional[dict] = None
+    if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+        manifest = _read_manifest(directory)
+    elif not os.path.exists(os.path.join(directory, WAL_NAME)):
+        raise KVStoreError(f"no manifest or WAL in {directory}")
+
+    if manifest is None:
+        table = KVTable()
+        for op, key, value in WriteAheadLog.replay(
+            os.path.join(directory, WAL_NAME)
+        ):
+            if op == OP_PUT:
+                table.put(key, value)
+            else:
+                table.delete(key)
+        return table
 
     table = KVTable(
         name=manifest["name"],
@@ -115,15 +241,33 @@ def load_table(directory: str) -> KVTable:
 class DurableKVTable:
     """A :class:`KVTable` wrapper that logs every mutation to a WAL.
 
-    Use :func:`save_table` periodically to checkpoint; on restart,
-    :func:`load_table` restores the snapshot and replays the log.
+    Use :meth:`checkpoint` periodically to snapshot; on restart,
+    :func:`load_table` restores the snapshot and replays the log.  A
+    context manager (``with DurableKVTable(...) as t: ...``) so handles
+    are closed deterministically instead of by garbage collection;
+    ``close()`` is idempotent.
+
+    With ``sync=True`` a mutation is acknowledged (the call returns)
+    only after its WAL record is fsynced — the durability point the
+    crash-recovery suite asserts against.
     """
 
-    def __init__(self, table: KVTable, directory: str, sync: bool = False):
+    def __init__(
+        self,
+        table: KVTable,
+        directory: str,
+        sync: bool = False,
+        fault_injector=None,
+    ):
         os.makedirs(directory, exist_ok=True)
         self.table = table
         self.directory = directory
-        self.wal = WriteAheadLog(os.path.join(directory, WAL_NAME), sync=sync)
+        self.fault_injector = fault_injector
+        self.wal = WriteAheadLog(
+            os.path.join(directory, WAL_NAME),
+            sync=sync,
+            fault_injector=fault_injector,
+        )
 
     def put(self, key: bytes, value: bytes) -> None:
         self.wal.append_put(bytes(key), bytes(value))
@@ -136,12 +280,17 @@ class DurableKVTable:
     def checkpoint(self) -> None:
         """Snapshot the table and truncate the log."""
         self.wal.flush()
-        save_table(self.table, self.directory)
+        save_table(self.table, self.directory, self.fault_injector)
         self.wal.truncate()
 
     def close(self) -> None:
-        self.wal.flush()
         self.wal.close()
+
+    def __enter__(self) -> "DurableKVTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __getattr__(self, name):
         return getattr(self.table, name)

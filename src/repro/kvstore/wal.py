@@ -7,6 +7,17 @@ so replay stops cleanly at a torn tail instead of propagating garbage:
 
     u8 op (1=put, 2=delete) | u32 key len | u32 value len |
     key bytes | value bytes | u32 crc32(of everything above)
+
+Durability contract: with ``sync=True`` every append (and every
+``flush()``) ends in an ``fsync``, so a record whose append returned is
+on stable storage — the *acknowledged* point crash-recovery tests pin
+down.  With ``sync=False`` the tail rides in OS/userspace buffers until
+``flush()``; a crash can lose it (and only it).
+
+The log is a context manager with an idempotent ``close()``; a
+:class:`~repro.kvstore.faults.FaultInjector` can be attached to die at
+the ``wal.append.*`` crash points, including a torn-record death that
+leaves half a record on disk for replay to discard.
 """
 
 from __future__ import annotations
@@ -17,6 +28,11 @@ import zlib
 from typing import Iterator, List, Optional, Tuple
 
 from repro.exceptions import KVStoreError
+from repro.kvstore.faults import (
+    CRASH_WAL_APPEND_POST,
+    CRASH_WAL_APPEND_PRE,
+    CRASH_WAL_APPEND_TORN,
+)
 
 OP_PUT = 1
 OP_DELETE = 2
@@ -28,10 +44,12 @@ _CRC = struct.Struct(">I")
 class WriteAheadLog:
     """An append-only mutation log with per-record checksums."""
 
-    def __init__(self, path: str, sync: bool = False):
+    def __init__(self, path: str, sync: bool = False, fault_injector=None):
         self.path = path
         self.sync = sync
+        self.fault_injector = fault_injector
         self._fh = open(path, "ab")
+        self._closed = False
 
     # ------------------------------------------------------------------
     def append_put(self, key: bytes, value: bytes) -> None:
@@ -41,24 +59,60 @@ class WriteAheadLog:
         self._append(OP_DELETE, key, b"")
 
     def _append(self, op: int, key: bytes, value: bytes) -> None:
+        if self._closed:
+            raise KVStoreError(f"append to closed WAL {self.path}")
+        injector = self.fault_injector
+        if injector is not None:
+            injector.crash_point(CRASH_WAL_APPEND_PRE)
         body = _RECORD_HEADER.pack(op, len(key), len(value)) + key + value
-        self._fh.write(body)
-        self._fh.write(_CRC.pack(zlib.crc32(body)))
+        record = body + _CRC.pack(zlib.crc32(body))
+        if injector is not None and injector.should_crash(
+            CRASH_WAL_APPEND_TORN
+        ):
+            # Half the record reaches stable storage, then the process
+            # dies: the torn-tail artefact replay must discard.
+            self._fh.write(record[: max(1, len(record) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            injector.crash(CRASH_WAL_APPEND_TORN)
+        self._fh.write(record)
         if self.sync:
             self._fh.flush()
             os.fsync(self._fh.fileno())
+        if injector is not None:
+            injector.crash_point(CRASH_WAL_APPEND_POST)
 
     def flush(self) -> None:
+        """Push buffered records down; with ``sync=True`` also fsync.
+
+        Safe on a closed log (no-op) so shutdown paths can call it
+        unconditionally.
+        """
+        if self._closed:
+            return
         self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
 
     # ------------------------------------------------------------------
     def truncate(self) -> None:
         """Discard the log (after its contents reached durable storage)."""
-        self._fh.close()
+        if not self._closed:
+            self._fh.close()
         self._fh = open(self.path, "wb")
+        self._closed = False
 
     def close(self) -> None:
+        """Flush and close; idempotent (second close is a no-op)."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
         self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "WriteAheadLog":
         return self

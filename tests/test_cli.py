@@ -159,3 +159,66 @@ class TestQueries:
             ]
         )
         assert code == 0
+
+
+class TestChaosCommand:
+    def test_chaos_synthetic_masked_run(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--trajectories",
+                "40",
+                "--queries",
+                "3",
+                "--seed",
+                "3",
+                "--retry-attempts",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos report" in out
+        assert "RESILIENT" in out
+        assert "3/3 queries identical" in out
+
+    def test_chaos_degraded_run(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--trajectories",
+                "40",
+                "--queries",
+                "3",
+                "--seed",
+                "3",
+                "--degraded",
+                "--retry-attempts",
+                "2",
+                "--max-consecutive",
+                "50",
+                "--unavailable-prob",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded mode" in out
+
+    def test_chaos_on_saved_store(self, built_store, capsys):
+        _, store_path, _ = built_store
+        code = main(
+            [
+                "chaos",
+                "--store",
+                store_path,
+                "--queries",
+                "2",
+                "--seed",
+                "1",
+                "--retry-attempts",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "chaos report" in capsys.readouterr().out

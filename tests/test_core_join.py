@@ -133,3 +133,43 @@ class TestClusterModel:
     def test_empty_table_skew_is_one(self):
         model = ClusterModel(KVTable(), nodes=3)
         assert model.skew([ScanRange(None, None)]) == 1.0
+
+    def test_bisect_routing_matches_linear_sweep(self):
+        """simulate_scan's bisect routing must attribute exactly the
+        loads the old O(ranges x regions) linear sweep did."""
+        table = self._table(rows=300, max_region_rows=20)
+        model = ClusterModel(table, nodes=4)
+        ranges = [
+            ScanRange(None, b"key00010"),
+            ScanRange(b"key00055", b"key00056"),
+            ScanRange(b"key00100", b"key00220"),
+            ScanRange(b"key00290", None),
+            ScanRange(b"zzz", None),  # beyond every row
+        ]
+        loads = model.simulate_scan(ranges)
+
+        # Linear reference implementation (the pre-bisect behavior).
+        expected = {node: [0, 0] for node in range(model.nodes)}
+        for scan_range in ranges:
+            for idx, region in enumerate(table.regions):
+                starts_before_stop = (
+                    scan_range.stop is None
+                    or region.start_key is None
+                    or region.start_key < scan_range.stop
+                )
+                ends_after_start = (
+                    scan_range.start is None
+                    or region.end_key is None
+                    or scan_range.start < region.end_key
+                )
+                if not (starts_before_stop and ends_after_start):
+                    continue
+                node = expected[idx % model.nodes]
+                node[0] += sum(
+                    1 for _ in region.scan(scan_range.start, scan_range.stop)
+                )
+                node[1] += 1
+        assert {
+            n: [load.rows_scanned, load.range_seeks]
+            for n, load in loads.items()
+        } == expected

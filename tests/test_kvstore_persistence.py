@@ -64,6 +64,65 @@ class TestWriteAheadLog:
         wal.close()
         assert WriteAheadLog.replay(path) == [(OP_PUT, b"b", b"2")]
 
+    def test_close_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.append_put(b"a", b"1")
+        wal.close()
+        assert wal.closed
+        wal.close()  # second close is a no-op, not an error
+        wal.flush()  # flush on a closed log is a safe no-op too
+        assert wal.closed
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.close()
+        with pytest.raises(KVStoreError):
+            wal.append_put(b"a", b"1")
+
+    def test_context_manager_closes_and_flushes(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path, sync=True) as wal:
+            wal.append_put(b"a", b"1")
+            assert not wal.closed
+        assert wal.closed
+        assert WriteAheadLog.replay(path) == [(OP_PUT, b"a", b"1")]
+
+    def test_truncate_reopens_closed_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append_put(b"a", b"1")
+        wal.close()
+        wal.truncate()  # checkpoint path: reusable after close
+        assert not wal.closed
+        wal.append_put(b"b", b"2")
+        wal.close()
+        assert WriteAheadLog.replay(path) == [(OP_PUT, b"b", b"2")]
+
+    def test_durable_table_context_manager(self, tmp_path):
+        directory = str(tmp_path / "durable")
+        with DurableKVTable(KVTable(), directory) as durable:
+            durable.put(b"a", b"1")
+        assert durable.wal.closed
+        durable.close()  # idempotent through the wrapper as well
+        assert dict(load_table(directory).full_scan()) == {b"a": b"1"}
+
+    def test_load_wal_only_directory(self, tmp_path):
+        """A store that died before its first checkpoint (WAL, no
+        manifest) must still recover."""
+        directory = str(tmp_path / "durable")
+        durable = DurableKVTable(KVTable(), directory, sync=True)
+        durable.put(b"a", b"1")
+        durable.put(b"b", b"2")
+        durable.delete(b"a")
+        # No checkpoint, no close: recover from the log alone.
+        assert dict(load_table(directory).full_scan()) == {b"b": b"2"}
+
+    def test_load_empty_directory_raises(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(KVStoreError):
+            load_table(str(d))
+
 
 class TestTablePersistence:
     def test_roundtrip(self, tmp_path):

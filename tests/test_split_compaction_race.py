@@ -1,0 +1,184 @@
+"""Mid-scan splits and compactions must not duplicate or drop rows.
+
+A scan captures the overlapping region list and each region's LSM
+iterators when it starts; ``Region.split`` builds two new regions
+without touching the old one, and ``compact`` swaps in a new SSTable
+list leaving the old runs intact.  An in-flight scan therefore keeps
+draining the pre-mutation structures and delivers every row exactly
+once — the classic HBase split-races-scanner guarantee, pinned here
+both manually and through the fault injector.
+
+Also pins the bisect region-routing rewrite: ``overlapping_region_span``
+must agree with the brute-force linear overlap test on every range.
+"""
+
+import bisect
+
+import pytest
+
+from repro.core.executor import ResilientExecutor, RetryPolicy
+from repro.kvstore.faults import FaultInjector, FaultSchedule
+from repro.kvstore.table import KVTable, ScanRange
+
+
+def make_table(rows=120, max_region_rows=30):
+    table = KVTable(max_region_rows=max_region_rows)
+    for i in range(rows):
+        table.put(f"key{i:05d}".encode(), f"v{i}".encode())
+    return table
+
+
+def expected_rows(rows=120):
+    return [
+        (f"key{i:05d}".encode(), f"v{i}".encode()) for i in range(rows)
+    ]
+
+
+class TestManualRaces:
+    def test_split_mid_scan_is_exactly_once(self):
+        table = make_table()
+        regions_before = table.num_regions
+        scan = table.scan(None, None)
+        collected = [next(scan) for _ in range(10)]
+        # Split the region currently being drained *and* a later one.
+        table._split_region(0)
+        table._split_region(table.num_regions - 1)
+        assert table.num_regions == regions_before + 2
+        collected.extend(scan)
+        assert collected == expected_rows()
+
+    def test_compaction_mid_scan_is_exactly_once(self):
+        table = make_table()
+        table.flush_all()  # push rows into SSTables so compact has work
+        scan = table.scan(None, None)
+        collected = [next(scan) for _ in range(10)]
+        for region in table.regions:
+            region.store.compact()
+        collected.extend(scan)
+        assert collected == expected_rows()
+
+    def test_split_then_fresh_scan_sees_same_rows(self):
+        table = make_table()
+        stale = list(table.scan(None, None))
+        table._split_region(1)
+        assert list(table.scan(None, None)) == stale
+
+    def test_writes_behind_scan_cursor_do_not_duplicate(self):
+        """A put routed into an already-drained region is invisible to
+        the in-flight scan (snapshot iterators), visible to the next."""
+        table = make_table()
+        scan = table.scan(None, None)
+        collected = [next(scan) for _ in range(40)]  # past region 0
+        table.put(b"key00000a", b"late")
+        collected.extend(scan)
+        assert collected == expected_rows()
+        assert (b"key00000a", b"late") in list(table.scan(None, None))
+
+
+class TestInjectedRaces:
+    def test_forced_splits_during_scan(self):
+        table = make_table()
+        regions_before = table.num_regions
+        table.fault_injector = injector = FaultInjector(
+            FaultSchedule(seed=7, split_prob=1.0)
+        )
+        rows = list(table.scan(None, None))
+        assert rows == expected_rows()
+        assert injector.forced_splits > 0
+        assert table.num_regions > regions_before
+
+    def test_forced_compactions_during_scan(self):
+        table = make_table()
+        table.flush_all()
+        table.fault_injector = injector = FaultInjector(
+            FaultSchedule(seed=7, compact_prob=1.0)
+        )
+        rows = list(table.scan(None, None))
+        assert rows == expected_rows()
+        assert injector.forced_compactions > 0
+
+    def test_disruptions_with_retries_stay_exactly_once(self):
+        """The full chaos mix — outages, stragglers, splits,
+        compactions — resolved through the executor still yields the
+        exact row set."""
+        table = make_table()
+        table.fault_injector = injector = FaultInjector(
+            FaultSchedule(
+                seed=13,
+                region_unavailable_prob=0.3,
+                max_consecutive_failures=1,
+                slow_region_prob=0.3,
+                split_prob=0.2,
+                compact_prob=0.2,
+            )
+        )
+        executor = ResilientExecutor(table, RetryPolicy(max_attempts=12))
+        rows, report = executor.scan_ranges([ScanRange(None, None)])
+        assert rows == expected_rows()
+        assert report.completeness == 1.0
+        assert injector.forced_splits + injector.forced_compactions > 0
+
+
+class TestBisectRouting:
+    """The O(log regions) routing must match the linear overlap test."""
+
+    def _brute_force_span(self, table, start, stop):
+        hits = [
+            i
+            for i, r in enumerate(table.regions)
+            if (stop is None or r.start_key is None or r.start_key < stop)
+            and (start is None or r.end_key is None or start < r.end_key)
+        ]
+        return hits
+
+    @pytest.mark.parametrize("max_region_rows", [25, 1000])
+    def test_span_matches_brute_force(self, max_region_rows):
+        table = make_table(rows=200, max_region_rows=max_region_rows)
+        keys = [None] + [f"key{i:05d}".encode() for i in range(0, 220, 7)]
+        probes = [
+            (start, stop)
+            for start in keys
+            for stop in keys
+            if start is None or stop is None or start < stop
+        ]
+        assert probes
+        for start, stop in probes:
+            lo, hi = table.overlapping_region_span(start, stop)
+            assert list(range(lo, hi)) == self._brute_force_span(
+                table, start, stop
+            ), (start, stop)
+
+    def test_point_routing_matches_scan(self):
+        table = make_table(rows=200, max_region_rows=25)
+        for i in range(0, 220, 3):
+            key = f"key{i:05d}".encode()
+            region = table.region_for(key)
+            assert region.start_key is None or region.start_key <= key
+            assert region.end_key is None or key < region.end_key
+
+    def test_cache_invalidated_by_split(self):
+        table = make_table(rows=100, max_region_rows=1000)
+        assert table.overlapping_region_span(b"key00050", b"key00060") == (
+            0,
+            1,
+        )
+        table._split_region(0)
+        lo, hi = table.overlapping_region_span(None, None)
+        assert (lo, hi) == (0, 2)
+        # Routing still agrees with brute force after the split.
+        for start, stop in [(b"key00000", b"key00099"), (None, b"key00050")]:
+            lo, hi = table.overlapping_region_span(start, stop)
+            assert list(range(lo, hi)) == self._brute_force_span(
+                table, start, stop
+            )
+
+    def test_cache_invalidated_by_wholesale_region_assignment(self):
+        """load_table replaces table.regions outright; the cache must
+        notice."""
+        table = make_table(rows=100, max_region_rows=25)
+        spans = table.overlapping_region_span(None, None)
+        bigger = make_table(rows=200, max_region_rows=20)
+        table.regions = bigger.regions
+        lo, hi = table.overlapping_region_span(None, None)
+        assert (lo, hi) == (0, len(bigger.regions))
+        assert (lo, hi) != spans
