@@ -1,0 +1,176 @@
+"""Execution performance layer — parallel scans and cache ablation.
+
+Measures threshold-search throughput on one store across execution
+configurations (the knobs are re-tuned in place between runs, so the
+data, index and plan are held constant):
+
+* ``seed``:    scan_workers=1, caches off — the pre-layer read path;
+* ``workers``: scan_workers=4, caches off;
+* ``cached``:  scan_workers=1, cache_mb=64, measured warm;
+* ``both``:    scan_workers=4, cache_mb=64, measured warm.
+
+plus a cache-budget ablation sweeping ``cache_mb`` and reporting the
+block/record cache hit rates each budget buys.
+
+Every run re-checks that answers are identical to the seed
+configuration (the layer is a pure optimisation).  A JSON report is
+printed and, when ``REPRO_BENCH_JSON`` names a file, written there for
+tracking.
+
+Paper-shape / acceptance check: ``both`` (warm) reaches >= 1.5x the
+seed configuration's throughput.
+"""
+
+import json
+import os
+import time
+
+from repro import TraSS
+from repro.bench.reporting import print_table
+
+from conftest import EPS_SWEEP
+
+#: (label, scan_workers, cache_mb, plan_cache_size, warm passes).
+#: ``seed``/``workers`` run with the plan cache off too, so the worker
+#: column isolates the thread effect (on a single-CPU host it is
+#: roughly neutral; the caches carry the speedup there).
+CONFIGS = [
+    ("seed", 1, 0.0, 0, 0),
+    ("workers", 4, 0.0, 0, 0),
+    ("cached", 1, 64.0, 128, 1),
+    ("both", 4, 64.0, 128, 1),
+]
+
+
+def _run_pass(engine: TraSS, queries, eps_sweep):
+    """One full workload pass; returns (seconds, answer map)."""
+    answers = {}
+    started = time.perf_counter()
+    for eps in eps_sweep:
+        for i, query in enumerate(queries):
+            result = engine.threshold_search(query, eps)
+            answers[(i, eps)] = sorted(result.answers.items())
+    return time.perf_counter() - started, answers
+
+
+def test_parallel_scan_and_cache_throughput(tdrive_engine, tdrive_queries):
+    engine = tdrive_engine
+    report = {"configs": [], "ablation": []}
+    baseline_answers = None
+    baseline_seconds = None
+    rows = []
+    try:
+        for label, workers, cache_mb, plan_cache, warm_passes in CONFIGS:
+            engine.configure_execution(
+                scan_workers=workers,
+                cache_mb=cache_mb,
+                plan_cache_size=plan_cache,
+            )
+            for _ in range(warm_passes):
+                _run_pass(engine, tdrive_queries, EPS_SWEEP)
+            engine.metrics.reset()
+            seconds, answers = _run_pass(engine, tdrive_queries, EPS_SWEEP)
+            snap = engine.metrics.snapshot()
+            if baseline_answers is None:
+                baseline_answers, baseline_seconds = answers, seconds
+            else:
+                # The layer is a pure optimisation: answers are exact.
+                assert answers == baseline_answers, label
+            queries_per_s = len(tdrive_queries) * len(EPS_SWEEP) / seconds
+            speedup = baseline_seconds / seconds
+            rows.append(
+                [label, workers, cache_mb, seconds * 1000, queries_per_s, speedup]
+            )
+            report["configs"].append(
+                {
+                    "label": label,
+                    "scan_workers": workers,
+                    "cache_mb": cache_mb,
+                    "plan_cache_size": plan_cache,
+                    "seconds": seconds,
+                    "queries_per_second": queries_per_s,
+                    "speedup_vs_seed": speedup,
+                    "block_cache_hits": snap["block_cache_hits"],
+                    "block_cache_misses": snap["block_cache_misses"],
+                    "record_cache_hits": snap["record_cache_hits"],
+                    "record_cache_misses": snap["record_cache_misses"],
+                    "plan_cache_hits": snap["plan_cache_hits"],
+                    "plan_cache_misses": snap["plan_cache_misses"],
+                }
+            )
+
+        print_table(
+            ["config", "workers", "cache MiB", "total ms", "q/s", "speedup"],
+            rows,
+            "Execution layer: threshold workload by configuration",
+        )
+        warm = next(c for c in report["configs"] if c["label"] == "both")
+        assert warm["speedup_vs_seed"] >= 1.5, (
+            "warm parallel+cached configuration must be >= 1.5x the seed "
+            f"sequential throughput, got {warm['speedup_vs_seed']:.2f}x"
+        )
+    finally:
+        engine.configure_execution(
+            scan_workers=1, cache_mb=0.0, plan_cache_size=128
+        )
+
+    _emit_json(report)
+
+
+def test_cache_budget_ablation(tdrive_engine, tdrive_queries):
+    """Hit rates and time vs cache budget (workers held at 1)."""
+    engine = tdrive_engine
+    report = {"configs": [], "ablation": []}
+    rows = []
+    try:
+        for cache_mb in (0.0, 1.0, 8.0, 64.0):
+            # Plan cache held constant so the sweep isolates the
+            # block/record tiers.
+            engine.configure_execution(
+                scan_workers=1, cache_mb=cache_mb, plan_cache_size=128
+            )
+            _run_pass(engine, tdrive_queries, EPS_SWEEP)  # warm
+            engine.metrics.reset()
+            seconds, _ = _run_pass(engine, tdrive_queries, EPS_SWEEP)
+            snap = engine.metrics.snapshot()
+
+            def rate(hits, misses):
+                total = hits + misses
+                return hits / total if total else 0.0
+
+            block = rate(snap["block_cache_hits"], snap["block_cache_misses"])
+            record = rate(
+                snap["record_cache_hits"], snap["record_cache_misses"]
+            )
+            rows.append([cache_mb, seconds * 1000, block, record])
+            report["ablation"].append(
+                {
+                    "cache_mb": cache_mb,
+                    "seconds": seconds,
+                    "block_hit_rate": block,
+                    "record_hit_rate": record,
+                }
+            )
+        print_table(
+            ["cache MiB", "total ms", "block hit rate", "record hit rate"],
+            rows,
+            "Cache-budget ablation (warm, workers=1)",
+        )
+        # Shape: a real budget must produce real hits; zero budget none.
+        assert report["ablation"][0]["block_hit_rate"] == 0.0
+        assert report["ablation"][-1]["block_hit_rate"] > 0.5
+    finally:
+        engine.configure_execution(
+            scan_workers=1, cache_mb=0.0, plan_cache_size=128
+        )
+
+    _emit_json(report)
+
+
+def _emit_json(report: dict) -> None:
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print(payload)
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path:
+        with open(path, "a") as fh:
+            fh.write(payload + "\n")

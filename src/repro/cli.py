@@ -8,7 +8,12 @@ Build a persistent TraSS store from a trajectory CSV and query it::
     python -m repro.cli threshold --store ./store --query-tid taxi42 --eps 0.01
     python -m repro.cli topk      --store ./store --query-tid taxi42 --k 10
     python -m repro.cli range     --store ./store --window 116.0 39.6 116.5 40.0
+    python -m repro.cli stats  --store ./store --scan-workers 4 --cache-mb 64
     python -m repro.cli chaos  --queries 10 --seed 7 --unavailable-prob 0.3
+
+Query commands accept ``--scan-workers`` and ``--cache-mb`` to override
+the stored execution configuration (answers are identical at any
+setting; only speed changes).
 
 The CSV format is the one :mod:`repro.data.io` writes: a ``tid,x,y``
 header and one point per row, points of a trajectory consecutive.
@@ -58,7 +63,12 @@ def _build(args: argparse.Namespace) -> int:
 
 
 def _load_engine(args: argparse.Namespace) -> TraSS:
-    return TraSS.load(args.store)
+    engine = TraSS.load(args.store)
+    engine.configure_execution(
+        scan_workers=getattr(args, "scan_workers", None),
+        cache_mb=getattr(args, "cache_mb", None),
+    )
+    return engine
 
 
 def _resolve_query(engine: TraSS, args: argparse.Namespace) -> Trajectory:
@@ -127,6 +137,82 @@ def _range(args: argparse.Namespace) -> int:
     window = MBR(*args.window)
     for tid in engine.range_query(window):
         print(tid)
+    return 0
+
+
+def _hit_line(name: str, hits: int, misses: int) -> str:
+    total = hits + misses
+    rate = f"{hits / total:7.1%}" if total else "    n/a"
+    return f"  {name:<14} {rate}  ({hits} hits / {misses} misses)"
+
+
+def _stats(args: argparse.Namespace) -> int:
+    """Report the execution performance layer: worker count, cache hit
+    rates and per-phase timings from a small probe workload.
+
+    Each probe query runs twice — the first pass fills the block,
+    record and plan caches, the second shows their steady-state hit
+    rates — so the numbers reflect a warmed store, the regime the
+    caches exist for.
+    """
+    engine = _load_engine(args)
+    cfg = engine.config
+    print(f"store:            {args.store}")
+    print(f"scan workers:     {cfg.scan_workers}")
+    print(f"cache budget:     {cfg.cache_mb:g} MiB")
+    print(f"plan cache size:  {cfg.plan_cache_size}")
+
+    queries = []
+    for record in engine.store.all_records():
+        queries.append(record.as_trajectory())
+        if len(queries) >= args.probes:
+            break
+    if not queries:
+        print("no stored trajectories; skipping probe workload")
+        return 0
+
+    pruning = scan = refine = 0.0
+    answers = 0
+    before = engine.metrics.snapshot()
+    started = time.perf_counter()
+    for _pass in range(2):
+        for q in queries:
+            result = engine.threshold_search(q, args.eps)
+            pruning += result.pruning_seconds
+            scan += result.scan_seconds
+            refine += result.refine_seconds
+            answers += len(result.answers)
+    wall = time.perf_counter() - started
+    delta = engine.metrics.diff(before)
+
+    print(
+        f"probe workload:   {len(queries)} threshold queries x 2 passes "
+        f"(eps={args.eps:g}), {answers} answers, "
+        f"{delta['rows_scanned']} rows scanned"
+    )
+    print("phase seconds:")
+    print(f"  pruning        {pruning:8.4f}")
+    print(f"  scan           {scan:8.4f}")
+    print(f"  refine         {refine:8.4f}")
+    print(f"  total wall     {wall:8.4f}")
+    print("cache hit rates (both passes):")
+    print(
+        _hit_line(
+            "block cache", delta["block_cache_hits"], delta["block_cache_misses"]
+        )
+    )
+    print(
+        _hit_line(
+            "record cache",
+            delta["record_cache_hits"],
+            delta["record_cache_misses"],
+        )
+    )
+    print(
+        _hit_line(
+            "plan cache", delta["plan_cache_hits"], delta["plan_cache_misses"]
+        )
+    )
     return 0
 
 
@@ -277,6 +363,22 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--store", required=True)
     info.set_defaults(func=_info)
 
+    def add_perf_args(p):
+        p.add_argument(
+            "--scan-workers",
+            type=int,
+            default=None,
+            help="parallel scan threads (overrides the stored config; "
+            "answers are identical at any setting)",
+        )
+        p.add_argument(
+            "--cache-mb",
+            type=float,
+            default=None,
+            help="scan-block + decoded-record cache budget in MiB "
+            "(overrides the stored config; 0 disables)",
+        )
+
     def add_query_args(p):
         p.add_argument("--store", required=True)
         p.add_argument("--query-tid", help="query by stored trajectory id")
@@ -284,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--measure", default=None, choices=available_measures()
         )
+        add_perf_args(p)
 
     threshold = sub.add_parser("threshold", help="threshold similarity search")
     add_query_args(threshold)
@@ -305,6 +408,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("MINX", "MINY", "MAXX", "MAXY"),
     )
     range_.set_defaults(func=_range)
+
+    stats = sub.add_parser(
+        "stats",
+        help="execution-layer report: workers, cache hit rates, "
+        "per-phase probe timings",
+    )
+    stats.add_argument("--store", required=True)
+    stats.add_argument(
+        "--probes",
+        type=int,
+        default=5,
+        help="stored trajectories used as probe queries (each runs "
+        "twice: cold then warm)",
+    )
+    stats.add_argument("--eps", type=float, default=0.01)
+    add_perf_args(stats)
+    stats.set_defaults(func=_stats)
 
     chaos = sub.add_parser(
         "chaos",

@@ -58,6 +58,19 @@ class TraSSConfig:
     breaker_failure_threshold: int = 5
     #: seconds an open breaker rejects a region before a retry probe
     breaker_cooldown_seconds: float = 30.0
+    # ------------------------------------------------------------------
+    # Execution performance layer (parallel scans, multi-tier caches)
+    # ------------------------------------------------------------------
+    #: scan worker threads for multi-range plans (1 = sequential; the
+    #: parallel path merges deterministically, so answers and counters
+    #: are identical at any setting)
+    scan_workers: int = 1
+    #: scan-block + decoded-record cache budget in MiB (0 = disabled);
+    #: split evenly between the two tiers
+    cache_mb: float = 0.0
+    #: pruning-plan cache entries (0 = disabled); plans depend only on
+    #: (query points, eps, index geometry), so caching is always sound
+    plan_cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.shards < 1 or self.shards > 256:
@@ -103,6 +116,19 @@ class TraSSConfig:
             raise QueryError(
                 "breaker_cooldown_seconds must be non-negative, got "
                 f"{self.breaker_cooldown_seconds}"
+            )
+        if self.scan_workers < 1 or self.scan_workers > 64:
+            raise QueryError(
+                f"scan_workers must be in 1..64, got {self.scan_workers}"
+            )
+        if self.cache_mb < 0:
+            raise QueryError(
+                f"cache_mb must be non-negative, got {self.cache_mb}"
+            )
+        if self.plan_cache_size < 0:
+            raise QueryError(
+                f"plan_cache_size must be non-negative, got "
+                f"{self.plan_cache_size}"
             )
 
     def make_measure(self) -> Measure:

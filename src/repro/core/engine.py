@@ -42,7 +42,10 @@ class TraSS:
         self.config = config if config is not None else TraSSConfig()
         self.store = TrajectoryStore(self.config, key_encoding)
         self.pruner = GlobalPruner(
-            self.store.index, self.config.max_planned_elements
+            self.store.index,
+            self.config.max_planned_elements,
+            plan_cache_size=self.config.plan_cache_size,
+            metrics=self.store.metrics,
         )
         self.measure: Measure = self.config.make_measure()
 
@@ -79,6 +82,24 @@ class TraSS:
     @property
     def metrics(self) -> IOMetrics:
         return self.store.metrics
+
+    def configure_execution(
+        self,
+        scan_workers: Optional[int] = None,
+        cache_mb: Optional[float] = None,
+        plan_cache_size: Optional[int] = None,
+    ) -> None:
+        """Re-tune scan workers / cache tiers without rebuilding the
+        store (``None`` keeps a knob as configured).  Used by the CLI's
+        ``--scan-workers`` / ``--cache-mb`` overrides."""
+        self.store.configure_execution(scan_workers, cache_mb, plan_cache_size)
+        self.config = self.store.config
+        if plan_cache_size is not None:
+            from repro.kvstore.cache import ObjectLRUCache
+
+            self.pruner.plan_cache = (
+                ObjectLRUCache(plan_cache_size) if plan_cache_size > 0 else None
+            )
 
     def _resolve_measure(self, measure: Optional[str]) -> Measure:
         if measure is None:
@@ -276,7 +297,10 @@ class TraSS:
         engine.config = store.config
         engine.store = store
         engine.pruner = GlobalPruner(
-            store.index, store.config.max_planned_elements
+            store.index,
+            store.config.max_planned_elements,
+            plan_cache_size=store.config.plan_cache_size,
+            metrics=store.metrics,
         )
         engine.measure = store.config.make_measure()
         return engine

@@ -28,7 +28,9 @@ plot answer completeness as a function of injected fault rates.
 from __future__ import annotations
 
 import random
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -37,6 +39,7 @@ from repro.exceptions import (
     ScanTimeoutError,
     TransientError,
 )
+from repro.kvstore.metrics import IOMetrics
 from repro.kvstore.table import KVTable, ScanRange
 
 RegionSpan = Tuple[Optional[bytes], Optional[bytes]]
@@ -151,6 +154,23 @@ class ScanReport:
     def degraded(self) -> bool:
         return bool(self.skipped_ranges)
 
+    def merge_from(self, other: "ScanReport") -> None:
+        """Fold a per-worker sub-report into this one (plan order).
+
+        The parallel executor accounts each range on a private report
+        and merges them back deterministically, so a merged report is
+        field-for-field identical to the one a sequential pass over the
+        same ranges would have produced.
+        """
+        self.ranges_total += other.ranges_total
+        self.ranges_completed += other.ranges_completed
+        self.skipped_ranges.extend(other.skipped_ranges)
+        self.retries += other.retries
+        self.faults_encountered += other.faults_encountered
+        self.breaker_short_circuits += other.breaker_short_circuits
+        self.backoff_seconds += other.backoff_seconds
+        self.deadline_exceeded = self.deadline_exceeded or other.deadline_exceeded
+
     def summary(self) -> Dict[str, object]:
         return {
             "ranges_total": self.ranges_total,
@@ -259,33 +279,55 @@ class ResilientExecutor:
         if deadline is None:
             deadline = self.deadline_from_now()
         for scan_range in ranges:
-            report.ranges_total += 1
-            if deadline is not None and self._now() > deadline:
-                self._give_up_deadline(scan_range, report)
-                continue
-            if self.breaker.any_open and self._breaker_rejects(scan_range):
-                report.breaker_short_circuits += 1
-                if not self.degraded_mode:
-                    raise RegionUnavailableError(
-                        f"circuit breaker open for a region of "
-                        f"[{scan_range.start!r}, {scan_range.stop!r})"
-                    )
-                self._skip(scan_range, report)
-                continue
-            self._attempt_range(scan_range, fn, report, deadline)
+            self._execute_one(scan_range, fn, report, deadline)
         return report
+
+    def _execute_one(
+        self,
+        scan_range: ScanRange,
+        fn: Callable[[ScanRange], None],
+        report: ScanReport,
+        deadline: Optional[float],
+    ) -> None:
+        """One range with the full deadline / breaker / retry pipeline.
+
+        Factored out of :meth:`execute` so the parallel executor can
+        run it per worker against a private report while keeping the
+        exact per-range semantics.
+        """
+        report.ranges_total += 1
+        if deadline is not None and self._now() > deadline:
+            self._give_up_deadline(scan_range, report)
+            return
+        if self.breaker.any_open and self._breaker_rejects(scan_range):
+            report.breaker_short_circuits += 1
+            if not self.degraded_mode:
+                raise RegionUnavailableError(
+                    f"circuit breaker open for a region of "
+                    f"[{scan_range.start!r}, {scan_range.stop!r})"
+                )
+            self._skip(scan_range, report)
+            return
+        self._attempt_range(scan_range, fn, report, deadline)
 
     def scan_ranges(
         self,
         ranges: Sequence[ScanRange],
         row_filter=None,
         report: Optional[ScanReport] = None,
+        on_range_rows: Optional[Callable[[list, object], None]] = None,
     ) -> Tuple[List[Tuple[bytes, bytes]], ScanReport]:
         """Materialise every range; the resilient ``scan_ranges``.
 
         Rows of a failed attempt are discarded before the retry, so the
         result holds each surviving row exactly once even when faults
         interrupt scans midway.
+
+        ``on_range_rows(chunk, row_filter)`` — when given — fires once
+        per *successfully completed* range with that range's surviving
+        rows and the row filter that screened them, enabling callers to
+        refine while later ranges are still scanning (the scan →
+        filter → refine pipeline).
         """
         rows: List[Tuple[bytes, bytes]] = []
 
@@ -294,6 +336,8 @@ class ResilientExecutor:
                 self.table.scan(scan_range.start, scan_range.stop, row_filter)
             )
             rows.extend(chunk)
+            if on_range_rows is not None and chunk:
+                on_range_rows(chunk, row_filter)
 
         report = self.execute(ranges, consume, report)
         return rows, report
@@ -369,3 +413,120 @@ class ResilientExecutor:
                     self.breaker.record_success(span)
                 report.ranges_completed += 1
                 return
+
+
+class ParallelScanExecutor(ResilientExecutor):
+    """A :class:`ResilientExecutor` that fans ``scan_ranges`` out over
+    a thread pool.
+
+    The planned ranges are partitioned into contiguous blocks, one per
+    worker; each worker runs the *same* per-range pipeline (deadline
+    check, breaker check, retry loop) as the sequential path over its
+    block, against a private :class:`ScanReport` and a private
+    thread-local :class:`IOMetrics` sink.  The main thread then merges
+    rows, reports, sinks and filter clones **in plan order**, so
+    answers, I/O counters and completeness accounting are identical to
+    a sequential execution of the same plan.
+
+    Two situations force the sequential path:
+
+    * ``workers <= 1`` or a single-range plan — nothing to fan out;
+    * an installed fault injector — its RNG stream is consumed in
+      region-visit order, so only sequential execution keeps a chaos
+      schedule a pure function of ``(seed, workload)``.  Resilience
+      semantics are therefore bit-identical under fault injection.
+    """
+
+    def __init__(self, *args, workers: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.workers = max(1, int(workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: serialises ``on_range_rows`` callbacks (refinement) so the
+        #: caller needs no locking of its own
+        self._callback_lock = threading.Lock()
+
+    @classmethod
+    def from_config(cls, table: KVTable, config) -> "ParallelScanExecutor":
+        executor = super().from_config(table, config)
+        executor.workers = max(1, int(getattr(config, "scan_workers", 1)))
+        return executor
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-scan",
+            )
+        return self._pool
+
+    def scan_ranges(
+        self,
+        ranges: Sequence[ScanRange],
+        row_filter=None,
+        report: Optional[ScanReport] = None,
+        on_range_rows: Optional[Callable[[list, object], None]] = None,
+    ) -> Tuple[List[Tuple[bytes, bytes]], ScanReport]:
+        injector = getattr(self.table, "fault_injector", None)
+        if self.workers <= 1 or injector is not None or len(ranges) <= 1:
+            return super().scan_ranges(ranges, row_filter, report, on_range_rows)
+        if report is None:
+            report = ScanReport()
+        deadline = self.deadline_from_now()
+
+        def run_part(part: Sequence[ScanRange]):
+            sink = IOMetrics()
+            self.table.bind_thread_metrics(sink)
+            try:
+                worker_filter = (
+                    row_filter.spawn() if row_filter is not None else None
+                )
+                chunks: List[List[Tuple[bytes, bytes]]] = []
+                sub = ScanReport()
+                error: Optional[Exception] = None
+                for scan_range in part:
+                    chunk: List[Tuple[bytes, bytes]] = []
+
+                    def consume(r: ScanRange, _chunk=chunk) -> None:
+                        _chunk[:] = self.table.scan(
+                            r.start, r.stop, worker_filter
+                        )
+
+                    try:
+                        self._execute_one(scan_range, consume, sub, deadline)
+                    except Exception as exc:  # re-raised in plan order below
+                        error = exc
+                        break  # sequential semantics: stop at the error
+                    if on_range_rows is not None and chunk:
+                        with self._callback_lock:
+                            on_range_rows(chunk, worker_filter)
+                    chunks.append(chunk)
+                return chunks, sub, worker_filter, sink, error
+            finally:
+                self.table.unbind_thread_metrics()
+
+        # Contiguous blocks keep the plan-order merge a simple
+        # concatenation and give each worker one filter clone and one
+        # metrics sink for its whole share.
+        workers = min(self.workers, len(ranges))
+        per_worker = (len(ranges) + workers - 1) // workers
+        parts = [
+            ranges[i : i + per_worker]
+            for i in range(0, len(ranges), per_worker)
+        ]
+        pool = self._ensure_pool()
+        futures = [pool.submit(run_part, part) for part in parts]
+        rows: List[Tuple[bytes, bytes]] = []
+        first_error: Optional[Exception] = None
+        for future in futures:  # plan order, regardless of completion order
+            chunks, sub, worker_filter, sink, error = future.result()
+            self.table.metrics.merge_from(sink)
+            report.merge_from(sub)
+            if row_filter is not None and worker_filter is not row_filter:
+                row_filter.absorb(worker_filter)
+            if error is not None and first_error is None:
+                first_error = error
+            for chunk in chunks:
+                rows.extend(chunk)
+        if first_error is not None:
+            raise first_error
+        return rows, report

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.codec import decode_row
 from repro.core.storage import TrajectoryRecord
@@ -52,6 +52,15 @@ class LocalFilterStats:
             + self.rejected_rep_points
             + self.rejected_boxes
         )
+
+    def merge_from(self, other: "LocalFilterStats") -> None:
+        """Fold a parallel worker's tallies into this bundle."""
+        self.evaluated += other.evaluated
+        self.rejected_mbr += other.rejected_mbr
+        self.rejected_start_end += other.rejected_start_end
+        self.rejected_rep_points += other.rejected_rep_points
+        self.rejected_boxes += other.rejected_boxes
+        self.passed += other.passed
 
 
 class LocalFilter:
@@ -92,6 +101,18 @@ class LocalFilter:
     def set_threshold(self, eps: float) -> None:
         """Tighten (or set) the working threshold; used by top-k."""
         self.eps = eps
+
+    def spawn(self) -> "LocalFilter":
+        """A clone for one parallel scan worker: shares the (immutable)
+        query features, counts into a private stats bundle."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.stats = LocalFilterStats()
+        return clone
+
+    def absorb(self, worker: "LocalFilter") -> None:
+        self.stats.merge_from(worker.stats)
 
     # ------------------------------------------------------------------
     def passes(self, record: TrajectoryRecord) -> bool:
@@ -160,17 +181,37 @@ class LocalFilterRowFilter(RowFilter):
     """Server-side adapter: decode the row, apply :class:`LocalFilter`.
 
     Accepted records are cached by row key so the client does not pay
-    for a second decode of rows it is about to refine.
+    for a second decode of rows it is about to refine.  ``decoder``
+    replaces the plain ``decode_row`` call — the store passes its
+    record-cache-backed decoder here, so repeated scans of the same
+    rows skip decoding entirely.
     """
 
-    def __init__(self, local_filter: LocalFilter):
+    def __init__(
+        self,
+        local_filter: LocalFilter,
+        decoder: Optional[Callable[[bytes, bytes], TrajectoryRecord]] = None,
+    ):
         self.local_filter = local_filter
+        self.decoder = decoder
         self.accepted: Dict[bytes, TrajectoryRecord] = {}
 
     def accept(self, key: bytes, value: bytes) -> bool:
-        tid, points, features = decode_row(value)
-        record = TrajectoryRecord(tid, tuple(points), features, -1)
+        if self.decoder is not None:
+            record = self.decoder(key, value)
+        else:
+            tid, points, features = decode_row(value)
+            record = TrajectoryRecord(tid, tuple(points), features, -1)
         if self.local_filter.passes(record):
             self.accepted[bytes(key)] = record
             return True
         return False
+
+    def spawn(self) -> "LocalFilterRowFilter":
+        return LocalFilterRowFilter(self.local_filter.spawn(), self.decoder)
+
+    def absorb(self, worker: "RowFilter") -> None:
+        if worker is self:
+            return
+        self.accepted.update(worker.accepted)
+        self.local_filter.absorb(worker.local_filter)

@@ -85,9 +85,24 @@ class GlobalPruner:
         max_planned_elements: int = 8192,
         collapse_scale: float = 0.25,
         use_position_codes: bool = True,
+        plan_cache_size: int = 0,
+        metrics=None,
     ):
         self.index = index
         self.max_planned_elements = max_planned_elements
+        # Plan cache: a pruning plan is a pure function of the query's
+        # points, the threshold and the index geometry — nothing about
+        # the stored data enters Algorithm 1 — so cached plans stay
+        # sound across ingests.  Keys carry the exact point tuple (the
+        # position-code lemmas read the points, so an MBR-quantised key
+        # alone would be unsound) plus eps and the resolution band.
+        from repro.kvstore.cache import ObjectLRUCache
+
+        self.plan_cache = (
+            ObjectLRUCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
+        #: optional IOMetrics receiving plan_cache_hits / _misses
+        self.metrics = metrics
         # Ablation switch: with position codes off, every legal code of
         # a surviving element is accepted (Lemmas 10-11 disabled) — the
         # element-level pruning of plain XZ-Ordering, on XZ* layout.
@@ -127,9 +142,32 @@ class GlobalPruner:
 
     # ------------------------------------------------------------------
     def prune(self, query: Trajectory, eps: float) -> PruningResult:
-        """Run Algorithm 1: candidate index values for ``(query, eps)``."""
+        """Run Algorithm 1: candidate index values for ``(query, eps)``.
+
+        With a plan cache attached, a repeated ``(query, eps)`` returns
+        the previously computed :class:`PruningResult` (treat it as
+        read-only) and skips the tree walk entirely.
+        """
         if eps < 0:
             raise QueryError(f"threshold must be non-negative, got {eps}")
+        cache = self.plan_cache
+        cache_key = None
+        if cache is not None:
+            band = self.resolution_band(query, eps)
+            cache_key = (query.points, eps, band, self.use_position_codes)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                if self.metrics is not None:
+                    self.metrics.plan_cache_hits += 1
+                return cached
+            if self.metrics is not None:
+                self.metrics.plan_cache_misses += 1
+        result = self._prune_uncached(query, eps)
+        if cache is not None:
+            cache.put(cache_key, result)
+        return result
+
+    def _prune_uncached(self, query: Trajectory, eps: float) -> PruningResult:
         min_r, max_r = self.resolution_band(query, eps)
         result = PruningResult(
             values=[], ranges=[], min_resolution=min_r, max_resolution=max_r

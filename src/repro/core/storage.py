@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.codec import decode_row, encode_row
 from repro.core.config import TraSSConfig
-from repro.core.executor import ResilientExecutor
+from repro.core.executor import ParallelScanExecutor
 from repro.exceptions import KVStoreError, QueryError
 from repro.features.dp_features import DPFeatures, extract_dp_features
 from repro.geometry.trajectory import Trajectory
@@ -72,11 +72,55 @@ class TrajectoryStore:
             max_region_rows=self.config.max_region_rows,
         )
         #: every query-path range scan goes through this executor
-        #: (retry / backoff / circuit breaker / degraded mode)
-        self.executor = ResilientExecutor.from_config(self.table, self.config)
+        #: (retry / backoff / circuit breaker / degraded mode, fanned
+        #: out over ``config.scan_workers`` threads when > 1)
+        self.executor = ParallelScanExecutor.from_config(self.table, self.config)
         self.trajectory_count = 0
         #: index value -> number of stored trajectories (distribution stats)
         self.value_histogram: Dict[int, int] = {}
+        #: decoded-record cache; ``None`` when ``config.cache_mb == 0``
+        self.record_cache = None
+        self._wire_caches()
+
+    def _wire_caches(self) -> None:
+        """Attach the cache tiers ``config.cache_mb`` pays for.
+
+        Half the budget fronts the LSM scans (block cache), half holds
+        decoded :class:`TrajectoryRecord`\\ s.  Called again after
+        :meth:`load` replaces the table.
+        """
+        from repro.kvstore.cache import record_cache
+
+        budget = int(self.config.cache_mb * 1024 * 1024)
+        self.table.enable_scan_cache(budget // 2)
+        self.record_cache = record_cache(budget - budget // 2) if budget else None
+
+    def configure_execution(
+        self,
+        scan_workers: Optional[int] = None,
+        cache_mb: Optional[float] = None,
+        plan_cache_size: Optional[int] = None,
+    ) -> None:
+        """Re-tune the execution performance layer in place.
+
+        ``None`` keeps a knob as configured.  Changes are validated
+        through :class:`TraSSConfig` and rebuild the executor pool and
+        cache tiers; the index, table and stored rows are untouched.
+        """
+        import dataclasses
+
+        changes = {}
+        if scan_workers is not None:
+            changes["scan_workers"] = scan_workers
+        if cache_mb is not None:
+            changes["cache_mb"] = cache_mb
+        if plan_cache_size is not None:
+            changes["plan_cache_size"] = plan_cache_size
+        if not changes:
+            return
+        self.config = dataclasses.replace(self.config, **changes)
+        self.executor = ParallelScanExecutor.from_config(self.table, self.config)
+        self._wire_caches()
 
     @property
     def metrics(self) -> IOMetrics:
@@ -201,6 +245,31 @@ class TrajectoryStore:
                     out.append(ScanRange(start, stop))
         return out
 
+    def record_decoder(self, key: bytes, value: bytes) -> TrajectoryRecord:
+        """The scan/refine-path decode (no index value), record-cached.
+
+        Keys embed the table generation, so a cached record can never
+        outlive a write to its row: after any mutation the old entry is
+        unreachable and ages out of the LRU.  Hits and misses are
+        counted as ``record_cache_*`` in :class:`IOMetrics`; cache hits
+        deliberately do **not** reduce ``rows_scanned``-style counters,
+        which account logical I/O.
+        """
+        cache = self.record_cache
+        if cache is None:
+            tid, points, features = decode_row(value)
+            return TrajectoryRecord(tid, tuple(points), features, -1)
+        cache_key = (bytes(key), self.table.generation)
+        record = cache.get(cache_key)
+        if record is not None:
+            self.table.metrics.record_cache_hits += 1
+            return record
+        self.table.metrics.record_cache_misses += 1
+        tid, points, features = decode_row(value)
+        record = TrajectoryRecord(tid, tuple(points), features, -1)
+        cache.put(cache_key, record, cost=len(key) + len(value))
+        return record
+
     def decode_record(self, key: bytes, value: bytes) -> TrajectoryRecord:
         tid, points, features = decode_row(value)
         if self.key_encoding == INTEGER_KEYS:
@@ -302,6 +371,9 @@ class TrajectoryStore:
                 "breaker_cooldown_seconds": (
                     self.config.breaker_cooldown_seconds
                 ),
+                "scan_workers": self.config.scan_workers,
+                "cache_mb": self.config.cache_mb,
+                "plan_cache_size": self.config.plan_cache_size,
             },
         }
         with open(os.path.join(directory, "STORE.json"), "w") as fh:
@@ -348,12 +420,16 @@ class TrajectoryStore:
             breaker_cooldown_seconds=cfg_raw.get(
                 "breaker_cooldown_seconds", 30.0
             ),
+            scan_workers=cfg_raw.get("scan_workers", 1),
+            cache_mb=cfg_raw.get("cache_mb", 0.0),
+            plan_cache_size=cfg_raw.get("plan_cache_size", 128),
         )
         store = cls(config, meta["key_encoding"])
         store.table = load_table(directory)
-        # The executor built in __init__ points at the discarded empty
-        # table; rebind it to the restored one.
-        store.executor = ResilientExecutor.from_config(store.table, config)
+        # The executor and caches built in __init__ point at the
+        # discarded empty table; rebind them to the restored one.
+        store.executor = ParallelScanExecutor.from_config(store.table, config)
+        store._wire_caches()
         for key, value in store.table.full_scan():
             record = store.decode_record(key, value)
             store.trajectory_count += 1

@@ -219,27 +219,51 @@ def topk_search(
     scan_report = ScanReport()
     deadline = store.executor.deadline_from_now()
 
+    q_start, q_end = query_points[0], query_points[-1]
+    use_start_end = measure.supports_start_end_filter
+
+    def refine_lower_bound(record) -> float:
+        """A cheap sound lower bound on ``f(query, record)`` — the MBR
+        gap (Lemma 5) sharpened with the start/end distances (Lemma 12)
+        for order-aware measures.  Refining a unit's survivors in this
+        order tightens the working threshold as fast as possible, so
+        later (farther) candidates abandon early or skip refinement."""
+        p = record.points
+        bound = query_mbr.distance_to_rect(record.features.mbr)
+        if use_start_end:
+            start = math.hypot(q_start[0] - p[0][0], q_start[1] - p[0][1])
+            end = math.hypot(q_end[0] - p[-1][0], q_end[1] - p[-1][1])
+            if start > bound:
+                bound = start
+            if end > bound:
+                bound = end
+        return bound
+
     def materialise(unit: IndexRange) -> None:
         """Scan one unit, filter locally, refine survivors.
 
-        Rows are refined as the scan streams them and each refinement
-        can tighten the working threshold, so later rows of the same
-        unit already face the shrunk ``eps`` — important when a unit is
-        a collapsed subtree holding many rows.
+        Each range's survivors are refined nearest-first (by
+        :func:`refine_lower_bound`) with the fused early-abandoning
+        ``distance_within`` at the current working threshold: a
+        candidate that cannot beat the k-th answer is dropped without
+        an exact distance, and each accepted answer shrinks the bound
+        for the rest of the batch.
 
         The per-range scans run under the resilient executor; a retry
-        after a mid-range transient fault re-streams the range, and the
-        ``seen_tids`` check makes re-refinement a no-op, so answers
+        after a mid-range transient fault re-streams the range — the
+        batch of a failed attempt is discarded unrefined and the
+        ``seen_tids`` check makes any re-refinement a no-op, so answers
         stay exact under masked faults.
         """
         nonlocal candidates, retrieved, units_scanned
         units_scanned += 1
         local.set_threshold(current_eps())
-        row_filter = LocalFilterRowFilter(local)
+        row_filter = LocalFilterRowFilter(local, decoder=store.record_decoder)
         before = store.metrics.snapshot()
 
         def consume(scan_range) -> None:
             nonlocal candidates
+            batch = []
             for key, _ in store.table.scan(
                 scan_range.start, scan_range.stop, row_filter
             ):
@@ -247,13 +271,26 @@ def topk_search(
                 record = row_filter.accepted.pop(key)
                 if record.tid in seen_tids:
                     continue
-                dist = measure.distance(query_points, record.points)
-                seen_tids[record.tid] = dist
+                batch.append(record)
+            if not batch:
+                return
+            batch.sort(key=refine_lower_bound)
+            for record in batch:
+                if record.tid in seen_tids:
+                    continue
+                dist = measure.distance_within(
+                    query_points, record.points, current_eps()
+                )
+                # Abandoned candidates are provably worse than the k-th
+                # answer; mark them seen so a re-scan skips them.
+                seen_tids[record.tid] = math.inf if dist is None else dist
+                if dist is None:
+                    continue
                 if len(results) < k:
                     heapq.heappush(results, (-dist, record.tid))
                 elif dist < -results[0][0]:
                     heapq.heapreplace(results, (-dist, record.tid))
-                local.set_threshold(current_eps())
+            local.set_threshold(current_eps())
 
         store.executor.execute(
             store.scan_ranges_for([unit]),

@@ -38,6 +38,24 @@ class IOMetrics:
     ranges_skipped: int = 0
     #: circuit-breaker open transitions
     breaker_trips: int = 0
+    # ------------------------------------------------------------------
+    # Cache tiers (the execution performance layer).  Hits/misses are
+    # *additional* accounting: a block-cache hit still counts its rows
+    # as ``rows_scanned`` (the rows were logically scanned, just served
+    # from memory), so pruning/I-O comparisons stay cache-agnostic.
+    # ------------------------------------------------------------------
+    #: LSM scan block cache (materialised merged runs per key range)
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    #: point-read row cache (the HBase BlockCache stand-in for gets)
+    row_cache_hits: int = 0
+    row_cache_misses: int = 0
+    #: decoded-``TrajectoryRecord`` cache (skips ``decode_row``)
+    record_cache_hits: int = 0
+    record_cache_misses: int = 0
+    #: global-pruning plan cache (skips Algorithm 1 re-planning)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of the current counters."""
@@ -54,3 +72,16 @@ class IOMetrics:
         """Counter deltas since a :meth:`snapshot`."""
         now = self.snapshot()
         return {name: now[name] - before.get(name, 0) for name in now}
+
+    def merge_from(self, other: "IOMetrics") -> None:
+        """Add every counter of ``other`` into this bundle.
+
+        The parallel scan executor gives each worker thread a private
+        ``IOMetrics`` sink and merges them here — under the caller's
+        lock discipline — so concurrent scans keep counters exact
+        without per-increment synchronisation.
+        """
+        for f in dataclasses.fields(self):
+            setattr(
+                self, f.name, getattr(self, f.name) + getattr(other, f.name)
+            )

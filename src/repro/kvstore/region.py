@@ -9,10 +9,15 @@ automatic partitioning strategy", Section IV-E).
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator, List, Optional, Tuple
 
 from repro.exceptions import RegionError
 from repro.kvstore.lsm import LSMStore
+
+#: process-wide region identities; splits mint fresh ids, so a cache
+#: entry keyed by region id can never alias a daughter region's data
+_REGION_IDS = itertools.count()
 
 
 class Region:
@@ -28,6 +33,8 @@ class Region:
         self.end_key = end_key
         self.store = LSMStore(flush_threshold=flush_threshold)
         self.row_count = 0
+        #: stable identity for cache keys (never reused, unlike ``id()``)
+        self.region_id = next(_REGION_IDS)
 
     # ------------------------------------------------------------------
     def owns(self, key: bytes) -> bool:

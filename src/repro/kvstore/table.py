@@ -10,10 +10,12 @@ whether or not the filter lets it through.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import KVStoreError
+from repro.kvstore.cache import ObjectLRUCache, scan_block_cache
 from repro.kvstore.filters import RowFilter
 from repro.kvstore.metrics import IOMetrics
 from repro.kvstore.region import Region
@@ -54,16 +56,62 @@ class KVTable:
         self.name = name
         self.max_region_rows = max_region_rows
         self.flush_threshold = flush_threshold
-        self.metrics = metrics if metrics is not None else IOMetrics()
+        self._metrics = metrics if metrics is not None else IOMetrics()
+        # Parallel scan workers bind a private sink here so counters
+        # stay exact without per-increment locking; the executor merges
+        # the sinks back into ``_metrics`` in plan order.
+        self._thread_metrics = threading.local()
         #: regions ordered by start key; region 0 starts open
         self.regions: List[Region] = [Region(None, None, flush_threshold)]
         #: optional :class:`~repro.kvstore.faults.FaultInjector`; when
         #: set, scans pass through its hook points
         self.fault_injector = None
+        #: mutation epoch: bumped by every put/delete/split/flush/
+        #: compaction; cache keys embed it, so entries of superseded
+        #: states are unreachable rather than merely invalidated
+        self.generation = 0
+        #: optional scan block cache (``enable_scan_cache``)
+        self.scan_cache: Optional[ObjectLRUCache] = None
         # Cached (region_count, sorted non-root start keys) for bisect
         # routing; regions only change by growing, so the count is a
         # sufficient invalidation key.
         self._starts_cache: Tuple[int, List[bytes]] = (0, [])
+
+    # ------------------------------------------------------------------
+    # Metrics (thread-local sinks for parallel scans)
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> IOMetrics:
+        sink = getattr(self._thread_metrics, "sink", None)
+        return sink if sink is not None else self._metrics
+
+    @metrics.setter
+    def metrics(self, value: IOMetrics) -> None:
+        self._metrics = value
+
+    def bind_thread_metrics(self, sink: IOMetrics) -> None:
+        """Route this thread's counter updates into ``sink``."""
+        self._thread_metrics.sink = sink
+
+    def unbind_thread_metrics(self) -> None:
+        self._thread_metrics.sink = None
+
+    # ------------------------------------------------------------------
+    # Caching
+    # ------------------------------------------------------------------
+    def enable_scan_cache(self, capacity_bytes: int) -> None:
+        """Attach a scan block cache (``<= 0`` detaches).
+
+        The cache sits *below* the I/O accounting: a cached scan still
+        counts every row as scanned, so pruning and I/O-reduction
+        numbers stay cache-agnostic — only wall time changes.
+        """
+        self.scan_cache = (
+            scan_block_cache(capacity_bytes) if capacity_bytes > 0 else None
+        )
+
+    def _bump_generation(self) -> None:
+        self.generation += 1
 
     # ------------------------------------------------------------------
     # Routing
@@ -123,6 +171,7 @@ class KVTable:
         idx = self._region_index_for(key)
         region = self.regions[idx]
         region.put(key, value)
+        self._bump_generation()
         self.metrics.puts += 1
         if region.row_count > self.max_region_rows:
             self._split_region(idx)
@@ -138,18 +187,25 @@ class KVTable:
     def delete(self, key: bytes) -> None:
         key = bytes(key)
         self.region_for(key).delete(key)
+        self._bump_generation()
 
     def _split_region(self, idx: int) -> None:
         left, right = self.regions[idx].split()
         self.regions[idx : idx + 1] = [left, right]
+        self._bump_generation()
 
     def flush_all(self) -> None:
+        # Flush/compaction leave visible data intact, but they replace
+        # the physical runs cached blocks were built from — invalidate
+        # conservatively, exactly as HBase's BlockCache does.
         for region in self.regions:
             region.store.flush()
+        self._bump_generation()
 
     def compact_all(self) -> None:
         for region in self.regions:
             region.store.compact()
+        self._bump_generation()
 
     # ------------------------------------------------------------------
     # Reads
@@ -194,7 +250,7 @@ class KVTable:
             if injector is not None:
                 injector.on_region_scan_start(self, region)
             self.metrics.regions_visited += 1
-            for key, value in region.scan(start, stop):
+            for key, value in self._region_rows(region, start, stop):
                 self.metrics.rows_scanned += 1
                 self.metrics.bytes_read += len(key) + len(value)
                 if injector is not None:
@@ -206,6 +262,31 @@ class KVTable:
                         continue
                 self.metrics.rows_returned += 1
                 yield key, value
+
+    def _region_rows(
+        self, region: Region, start: Optional[bytes], stop: Optional[bytes]
+    ):
+        """One region's merged run for ``[start, stop)``, block-cached.
+
+        Keys embed ``(region id, range, generation)``, so any write
+        since the entry was built makes it unreachable — a hit is
+        always current.  With a fault injector installed the cache is
+        bypassed entirely: injected mid-scan disruptions must race the
+        *live* LSM iterators, exactly as on the seed read path.
+        """
+        cache = self.scan_cache
+        if cache is None or self.fault_injector is not None:
+            return region.scan(start, stop)
+        key = (region.region_id, start, stop, self.generation)
+        rows = cache.get(key)
+        if rows is not None:
+            self.metrics.block_cache_hits += 1
+            return rows
+        self.metrics.block_cache_misses += 1
+        rows = list(region.scan(start, stop))
+        cost = sum(len(k) + len(v) for k, v in rows) + 64
+        cache.put(key, rows, cost)
+        return rows
 
     def scan_ranges(
         self,

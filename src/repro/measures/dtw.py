@@ -8,18 +8,35 @@ each individual pair distance, so both Lemma 5 and Lemma 12 hold
 The threshold variant abandons once every cell of a row exceeds the
 threshold — path costs only grow, so no alignment through such a row
 can finish at or under it.
+
+DTW sums *linear* distances, so the square root cannot be removed from
+the recurrence — but it can be hoisted: all n*m pairwise distances are
+computed as one vectorised matrix (a single ``np.sqrt``), and the DP
+loop reads plain floats instead of calling ``hypot`` per cell.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import List, Optional
+
+import numpy as np
 
 from repro.measures.base import Measure, PointSeq, register_measure
 
+_INF = math.inf
 
-def _dist(a: Tuple[float, float], b: Tuple[float, float]) -> float:
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+def _dist_rows(a: PointSeq, b: PointSeq) -> List[List[float]]:
+    """The n x m pairwise distance matrix, as row lists."""
+    n, m = len(a), len(b)
+    ax = np.fromiter((p[0] for p in a), dtype=float, count=n)
+    ay = np.fromiter((p[1] for p in a), dtype=float, count=n)
+    bx = np.fromiter((p[0] for p in b), dtype=float, count=m)
+    by = np.fromiter((p[1] for p in b), dtype=float, count=m)
+    dx = ax[:, None] - bx[None, :]
+    dy = ay[:, None] - by[None, :]
+    return np.sqrt(dx * dx + dy * dy).tolist()
 
 
 def dtw(a: PointSeq, b: PointSeq) -> float:
@@ -27,46 +44,54 @@ def dtw(a: PointSeq, b: PointSeq) -> float:
     n, m = len(a), len(b)
     if n == 0 or m == 0:
         raise ValueError("DTW distance of an empty sequence")
-    inf = math.inf
+    dist = _dist_rows(a, b)
     # Boundary row: only the (0, 0) entry point is free.
-    prev = [0.0] + [inf] * m
+    prev = [0.0] + [_INF] * m
     for i in range(n):
-        ai = a[i]
-        cur = [inf] * (m + 1)
+        row = dist[i]
+        cur = [_INF] * (m + 1)
         for j in range(1, m + 1):
             best = min(prev[j], prev[j - 1], cur[j - 1])
-            if best == inf:
+            if best == _INF:
                 continue
-            cur[j] = best + _dist(ai, b[j - 1])
+            cur[j] = best + row[j - 1]
         prev = cur
     return prev[m]
 
 
-def dtw_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
-    """Early-abandoning decision ``DTW(a, b) <= eps``."""
+def _dtw_within_value(
+    a: PointSeq, b: PointSeq, eps: float
+) -> Optional[float]:
+    """Final DP value when some alignment stays within ``eps``, else
+    ``None`` (the shared early-abandoning kernel)."""
     n, m = len(a), len(b)
     if n == 0 or m == 0:
         raise ValueError("DTW distance of an empty sequence")
-    inf = math.inf
-    prev = [inf] * (m + 1)
+    dist = _dist_rows(a, b)
+    prev = [_INF] * (m + 1)
     prev[0] = 0.0
     for i in range(n):
-        ai = a[i]
-        cur = [inf] * (m + 1)
+        row = dist[i]
+        cur = [_INF] * (m + 1)
         alive = False
         for j in range(1, m + 1):
             best = min(prev[j], prev[j - 1], cur[j - 1])
-            if best == inf:
+            if best == _INF:
                 continue
-            v = best + _dist(ai, b[j - 1])
+            v = best + row[j - 1]
             if v <= eps:
                 cur[j] = v
                 alive = True
         if not alive:
-            return False
+            return None
         prev = cur
-        prev[0] = inf  # only the very first row may start at (0,0)
-    return prev[m] <= eps
+        prev[0] = _INF  # only the very first row may start at (0,0)
+    return prev[m] if prev[m] <= eps else None
+
+
+def dtw_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
+    """Early-abandoning decision ``DTW(a, b) <= eps``."""
+    return _dtw_within_value(a, b, eps) is not None
 
 
 @register_measure
@@ -82,3 +107,17 @@ class DTW(Measure):
 
     def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
         return dtw_within(a, b, eps)
+
+    def distance_within(
+        self, a: PointSeq, b: PointSeq, eps: float
+    ) -> Optional[float]:
+        """One fused DP: the decision and the exact answer value.
+
+        Sound because path costs grow monotonically, so every prefix of
+        the optimal alignment stays at or below its final cost — when
+        that cost is within ``eps`` the optimal path survives clamping
+        and the final cell holds it exactly.
+        """
+        if eps == _INF:
+            return dtw(a, b)
+        return _dtw_within_value(a, b, eps)

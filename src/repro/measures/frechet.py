@@ -5,18 +5,52 @@ lattice, rolled to two rows.  The threshold variant abandons a row as
 soon as every cell in it exceeds the threshold: once that happens no
 coupling through the row can come back under it, because values along
 any monotone path are combined with ``max``.
+
+The DP runs in the *squared-distance* domain: pairwise squared
+distances are precomputed as one vectorised matrix, and because both
+``max`` and ``min`` commute with the monotone map ``x -> x*x`` the
+lattice recurrence is unchanged — the single ``sqrt`` happens once at
+the end instead of once per cell.  Threshold decisions clamp at a
+marginally relaxed squared bound and make the final comparison in the
+sqrt domain, so ``within`` stays bit-consistent with ``distance``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import List, Optional
+
+import numpy as np
 
 from repro.measures.base import Measure, PointSeq, register_measure
 
+_INF = math.inf
 
-def _dist(a: Tuple[float, float], b: Tuple[float, float]) -> float:
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+def _sq_dist_rows(a: PointSeq, b: PointSeq) -> List[List[float]]:
+    """The n x m matrix of squared pairwise distances, as row lists.
+
+    Vectorised once up front; the DP then reads plain Python floats,
+    which is far cheaper than per-cell ``hypot`` calls.
+    """
+    n, m = len(a), len(b)
+    ax = np.fromiter((p[0] for p in a), dtype=float, count=n)
+    ay = np.fromiter((p[1] for p in a), dtype=float, count=n)
+    bx = np.fromiter((p[0] for p in b), dtype=float, count=m)
+    by = np.fromiter((p[1] for p in b), dtype=float, count=m)
+    dx = ax[:, None] - bx[None, :]
+    dy = ay[:, None] - by[None, :]
+    return (dx * dx + dy * dy).tolist()
+
+
+def _relaxed_sq(eps: float) -> float:
+    """A clamping bound slightly above ``eps**2``.
+
+    The relaxation only admits extra lattice paths; the final decision
+    is made in the sqrt domain, keeping ``within`` consistent with
+    ``distance`` even when ``eps`` equals the exact value.
+    """
+    return (eps * (1.0 + 1e-12)) ** 2 if eps > 0 else 0.0
 
 
 def discrete_frechet(a: PointSeq, b: PointSeq) -> float:
@@ -24,77 +58,100 @@ def discrete_frechet(a: PointSeq, b: PointSeq) -> float:
     n, m = len(a), len(b)
     if n == 0 or m == 0:
         raise ValueError("discrete Fréchet distance of an empty sequence")
+    d2 = _sq_dist_rows(a, b)
     # Degenerate rows of Definition 2.
     if n == 1:
-        return max(_dist(a[0], q) for q in b)
+        return math.sqrt(max(d2[0]))
     if m == 1:
-        return max(_dist(p, b[0]) for p in a)
+        return math.sqrt(max(row[0] for row in d2))
 
     prev = [0.0] * m
-    prev[0] = _dist(a[0], b[0])
+    row = d2[0]
+    acc = row[0]
+    prev[0] = acc
     for j in range(1, m):
-        prev[j] = max(prev[j - 1], _dist(a[0], b[j]))
+        d = row[j]
+        if d > acc:
+            acc = d
+        prev[j] = acc
     cur = [0.0] * m
     for i in range(1, n):
-        ai = a[i]
-        cur[0] = max(prev[0], _dist(ai, b[0]))
+        row = d2[i]
+        d = row[0]
+        cur[0] = prev[0] if prev[0] > d else d
         for j in range(1, m):
             reach = min(prev[j], prev[j - 1], cur[j - 1])
-            d = _dist(ai, b[j])
+            d = row[j]
             cur[j] = reach if reach > d else d
         prev, cur = cur, prev
-    return prev[m - 1]
+    return math.sqrt(prev[m - 1])
+
+
+def _frechet_within_value(
+    a: PointSeq, b: PointSeq, eps: float
+) -> Optional[float]:
+    """Squared final DP value when some coupling stays within the
+    relaxed bound, else ``None`` (the shared early-abandoning kernel).
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("discrete Fréchet distance of an empty sequence")
+    d2 = _sq_dist_rows(a, b)
+    limit = _relaxed_sq(eps)
+    if n == 1:
+        worst = max(d2[0])
+        return worst if worst <= limit else None
+    if m == 1:
+        worst = max(row[0] for row in d2)
+        return worst if worst <= limit else None
+
+    prev = [_INF] * m
+    row = d2[0]
+    acc = row[0]
+    prev[0] = acc if acc <= limit else _INF
+    for j in range(1, m):
+        if acc > limit:
+            break
+        d = row[j]
+        if d > acc:
+            acc = d
+        prev[j] = acc if acc <= limit else _INF
+    cur = [_INF] * m
+    for i in range(1, n):
+        row = d2[i]
+        d = row[0]
+        v = prev[0] if prev[0] > d else d
+        cur[0] = v if v <= limit else _INF
+        alive = cur[0] < _INF
+        for j in range(1, m):
+            reach = min(prev[j], prev[j - 1], cur[j - 1])
+            if reach == _INF:
+                cur[j] = _INF
+                continue
+            d = row[j]
+            v = reach if reach > d else d
+            if v <= limit:
+                cur[j] = v
+                alive = True
+            else:
+                cur[j] = _INF
+        if not alive:
+            return None
+        prev, cur = cur, prev
+    final = prev[m - 1]
+    return final if final < _INF else None
 
 
 def discrete_frechet_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
     """Early-abandoning decision ``D_F(a, b) <= eps``.
 
-    Cells whose value already exceeds ``eps`` are clamped to ``inf`` so
-    they can never seed a path; when a whole row is ``inf`` the answer
-    is ``False`` without finishing the table.
+    Cells whose squared value already exceeds the (relaxed) squared
+    threshold are clamped to ``inf`` so they can never seed a path;
+    when a whole row is ``inf`` the answer is ``False`` without
+    finishing the table.
     """
-    n, m = len(a), len(b)
-    if n == 0 or m == 0:
-        raise ValueError("discrete Fréchet distance of an empty sequence")
-    if n == 1:
-        return all(_dist(a[0], q) <= eps for q in b)
-    if m == 1:
-        return all(_dist(p, b[0]) <= eps for p in a)
-
-    inf = math.inf
-    prev = [inf] * m
-    d0 = _dist(a[0], b[0])
-    prev[0] = d0 if d0 <= eps else inf
-    for j in range(1, m):
-        if prev[j - 1] is inf or prev[j - 1] == inf:
-            break
-        d = _dist(a[0], b[j])
-        v = prev[j - 1] if prev[j - 1] > d else d
-        prev[j] = v if v <= eps else inf
-    cur = [inf] * m
-    for i in range(1, n):
-        ai = a[i]
-        alive = False
-        d = _dist(ai, b[0])
-        v = prev[0] if prev[0] > d else d
-        cur[0] = v if v <= eps else inf
-        alive = cur[0] < inf
-        for j in range(1, m):
-            reach = min(prev[j], prev[j - 1], cur[j - 1])
-            if reach == inf:
-                cur[j] = inf
-                continue
-            d = _dist(ai, b[j])
-            v = reach if reach > d else d
-            if v <= eps:
-                cur[j] = v
-                alive = True
-            else:
-                cur[j] = inf
-        if not alive:
-            return False
-        prev, cur = cur, prev
-    return prev[m - 1] < inf
+    final = _frechet_within_value(a, b, eps)
+    return final is not None and math.sqrt(final) <= eps
 
 
 @register_measure
@@ -110,3 +167,21 @@ class DiscreteFrechet(Measure):
 
     def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
         return discrete_frechet_within(a, b, eps)
+
+    def distance_within(
+        self, a: PointSeq, b: PointSeq, eps: float
+    ) -> Optional[float]:
+        """One fused DP: the decision and the exact answer value.
+
+        Sound because the optimal coupling's prefix maxima never exceed
+        its final value, so when the true distance is within the bound
+        the optimal path survives clamping and the final cell holds the
+        exact squared distance.
+        """
+        if eps == _INF:
+            return discrete_frechet(a, b)
+        final = _frechet_within_value(a, b, eps)
+        if final is None:
+            return None
+        value = math.sqrt(final)
+        return value if value <= eps else None

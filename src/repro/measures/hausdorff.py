@@ -8,20 +8,32 @@ start point of ``Q`` may legitimately match an interior point of ``T``.
 Query processing must therefore skip the start/end filter under this
 measure (Section VII-A), which ``supports_start_end_filter = False``
 encodes.
+
+The directed kernel works entirely on squared distances (one ``sqrt``
+at the very end) and vectorises the inner nearest-neighbour minimum
+over pre-extracted coordinate arrays; the outer loop keeps the
+early-abandon exit.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.measures.base import Measure, PointSeq, register_measure
 
+#: below this many candidate points the vectorisation overhead beats
+#: the plain loop; both branches compute identical floats
+_VECTOR_MIN_POINTS = 12
 
-def _dist_sq(a: Tuple[float, float], b: Tuple[float, float]) -> float:
-    dx = a[0] - b[0]
-    dy = a[1] - b[1]
-    return dx * dx + dy * dy
+
+def _coords(points: PointSeq) -> Tuple["np.ndarray", "np.ndarray"]:
+    n = len(points)
+    xs = np.fromiter((p[0] for p in points), dtype=float, count=n)
+    ys = np.fromiter((p[1] for p in points), dtype=float, count=n)
+    return xs, ys
 
 
 def _directed_sq(a: PointSeq, b: PointSeq, abandon_sq: float = math.inf) -> float:
@@ -31,10 +43,24 @@ def _directed_sq(a: PointSeq, b: PointSeq, abandon_sq: float = math.inf) -> floa
     known to exceed it.
     """
     worst = 0.0
+    if len(b) >= _VECTOR_MIN_POINTS:
+        bx, by = _coords(b)
+        for px, py in a:
+            dx = bx - px
+            dy = by - py
+            best = float(np.min(dx * dx + dy * dy))
+            if best > worst:
+                worst = best
+                if worst > abandon_sq:
+                    return worst
+        return worst
     for p in a:
+        px, py = p
         best = math.inf
         for q in b:
-            d = _dist_sq(p, q)
+            dx = px - q[0]
+            dy = py - q[1]
+            d = dx * dx + dy * dy
             if d < best:
                 best = d
                 if best <= worst:
@@ -55,6 +81,23 @@ def hausdorff(a: PointSeq, b: PointSeq) -> float:
     return math.sqrt(max(forward, backward))
 
 
+def _hausdorff_within_value(
+    a: PointSeq, b: PointSeq, eps: float
+) -> Optional[float]:
+    """Squared symmetric distance when within the relaxed bound, else
+    ``None`` (the shared early-abandoning kernel)."""
+    if not a or not b:
+        raise ValueError("Hausdorff distance of an empty sequence")
+    abandon_sq = (eps * (1.0 + 1e-12)) ** 2 if eps > 0 else 0.0
+    forward = _directed_sq(a, b, abandon_sq)
+    if forward > abandon_sq:
+        return None
+    backward = _directed_sq(b, a, abandon_sq)
+    if backward > abandon_sq:
+        return None
+    return max(forward, backward)
+
+
 def hausdorff_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
     """Early-abandoning decision ``D_H(a, b) <= eps``.
 
@@ -62,16 +105,8 @@ def hausdorff_within(a: PointSeq, b: PointSeq, eps: float) -> bool:
     can be made in the sqrt domain, keeping the decision bit-consistent
     with :func:`hausdorff` even when ``eps`` equals the exact distance.
     """
-    if not a or not b:
-        raise ValueError("Hausdorff distance of an empty sequence")
-    abandon_sq = (eps * (1.0 + 1e-12)) ** 2 if eps > 0 else 0.0
-    forward = _directed_sq(a, b, abandon_sq)
-    if forward > abandon_sq:
-        return False
-    backward = _directed_sq(b, a, abandon_sq)
-    if backward > abandon_sq:
-        return False
-    return math.sqrt(max(forward, backward)) <= eps
+    worst = _hausdorff_within_value(a, b, eps)
+    return worst is not None and math.sqrt(worst) <= eps
 
 
 @register_measure
@@ -87,3 +122,19 @@ class Hausdorff(Measure):
 
     def within(self, a: PointSeq, b: PointSeq, eps: float) -> bool:
         return hausdorff_within(a, b, eps)
+
+    def distance_within(
+        self, a: PointSeq, b: PointSeq, eps: float
+    ) -> Optional[float]:
+        """One fused pass: the decision and the exact answer value.
+
+        When neither directed pass abandons, both squared maxima are
+        exact and the symmetric distance comes out of the same pass.
+        """
+        if eps == math.inf:
+            return hausdorff(a, b)
+        worst = _hausdorff_within_value(a, b, eps)
+        if worst is None:
+            return None
+        value = math.sqrt(worst)
+        return value if value <= eps else None
