@@ -167,6 +167,64 @@ def test_cache_budget_ablation(tdrive_engine, tdrive_queries):
     _emit_json(report)
 
 
+def test_traced_phase_breakdown(tdrive_engine, tdrive_queries):
+    """Per-phase tracer breakdown of the threshold workload, plus the
+    metrics exporters.
+
+    Runs the workload once under tracing, folds the span tree into
+    prune / scan / refine totals, and exports the metrics registry both
+    ways — asserting the Prometheus text parses, which is the CI gate
+    for the exporter staying scrapeable.  When ``REPRO_OBS_JSON`` names
+    a file the trace + metrics payload is written there (uploaded as a
+    CI artifact).
+    """
+    from repro.obs.registry import parse_prometheus
+
+    engine = tdrive_engine
+    eps = EPS_SWEEP[len(EPS_SWEEP) // 2]
+    with engine.traced() as tracer:
+        for query in tdrive_queries:
+            engine.threshold_search(query, eps)
+    roots = tracer.traces()
+    assert len(roots) == len(tdrive_queries)
+
+    phase_totals = {"prune": 0.0, "scan": 0.0, "refine": 0.0}
+    for root in roots:
+        for name in phase_totals:
+            for span in root.find(name):
+                phase_totals[name] += span.duration
+    total = sum(root.duration for root in roots)
+    rows = [
+        [name, seconds * 1000, (seconds / total if total else 0.0)]
+        for name, seconds in phase_totals.items()
+    ]
+    print_table(
+        ["phase", "total ms", "fraction of query time"],
+        rows,
+        f"Traced phase breakdown ({len(roots)} threshold queries, "
+        f"eps={eps:g})",
+    )
+
+    prom = engine.export_metrics("prometheus")
+    samples = parse_prometheus(prom)
+    assert "trass_io_rows_scanned" in samples
+    assert "trass_query_seconds_count" in samples
+    assert samples["trass_query_seconds_count"] >= len(tdrive_queries)
+
+    payload = {
+        "eps": eps,
+        "queries": len(roots),
+        "phase_seconds": phase_totals,
+        "trace_example": roots[0].to_dict(include_events=False),
+        "metrics": engine.export_metrics("json"),
+    }
+    obs_path = os.environ.get("REPRO_OBS_JSON")
+    if obs_path:
+        with open(obs_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+    _emit_json({"observability": {k: payload[k] for k in ("eps", "queries", "phase_seconds")}})
+
+
 def _emit_json(report: dict) -> None:
     payload = json.dumps(report, indent=2, sort_keys=True)
     print(payload)

@@ -40,6 +40,14 @@ from repro.index.xz2 import XZ2Index
 from repro.index.xzstar import XZStarIndex
 from repro.core.join import JoinResult, similarity_join
 from repro.measures import available_measures, get_measure
+from repro.obs import (
+    ExplainAnalyzeReport,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    explain_analyze,
+    format_span_tree,
+)
 
 __version__ = "1.0.0"
 
@@ -68,5 +76,11 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "SimulatedCrash",
+    "ExplainAnalyzeReport",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Tracer",
+    "explain_analyze",
+    "format_span_tree",
     "__version__",
 ]

@@ -8,6 +8,10 @@ Build a persistent TraSS store from a trajectory CSV and query it::
     python -m repro.cli threshold --store ./store --query-tid taxi42 --eps 0.01
     python -m repro.cli topk      --store ./store --query-tid taxi42 --k 10
     python -m repro.cli range     --store ./store --window 116.0 39.6 116.5 40.0
+    python -m repro.cli explain   --store ./store --query-tid taxi42 --eps 0.01
+    python -m repro.cli explain   --store ./store --query-tid taxi42 \\
+        --eps 0.01 --analyze
+    python -m repro.cli trace     --store ./store --query-tid taxi42 --k 10
     python -m repro.cli stats  --store ./store --scan-workers 4 --cache-mb 64
     python -m repro.cli chaos  --queries 10 --seed 7 --unavailable-prob 0.3
 
@@ -132,6 +136,75 @@ def _topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain(args: argparse.Namespace) -> int:
+    """``explain``: describe the plan; ``explain --analyze``: run the
+    query under tracing and report what every phase actually did."""
+    engine = _load_engine(args)
+    query = _resolve_query(engine, args)
+    if not args.analyze:
+        if args.eps is None:
+            raise ReproError("explain without --analyze requires --eps")
+        if args.k is not None:
+            raise ReproError("--k requires --analyze (plans are threshold-only)")
+        print(engine.explain(query, args.eps))
+        return 0
+    report = engine.explain_analyze(
+        query, eps=args.eps, k=args.k, measure=args.measure
+    )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                report.to_json(include_events=args.show_events),
+                indent=2,
+                default=str,
+            )
+        )
+    else:
+        print(
+            report.render(
+                max_children=args.max_children, show_events=args.show_events
+            )
+        )
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """Run one query under tracing and print the raw span tree."""
+    engine = _load_engine(args)
+    query = _resolve_query(engine, args)
+    if (args.eps is None) == (args.k is None):
+        raise ReproError("provide exactly one of --eps or --k")
+    with engine.traced() as tracer:
+        if args.eps is not None:
+            engine.threshold_search(query, args.eps, measure=args.measure)
+        else:
+            engine.topk_search(query, args.k, measure=args.measure)
+    root = tracer.traces()[-1]
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                root.to_dict(include_events=args.show_events),
+                indent=2,
+                default=str,
+            )
+        )
+    else:
+        from repro.obs.tracing import format_span_tree
+
+        print(
+            format_span_tree(
+                root,
+                max_children=args.max_children,
+                show_events=args.show_events,
+            )
+        )
+    return 0
+
+
 def _range(args: argparse.Namespace) -> int:
     engine = _load_engine(args)
     window = MBR(*args.window)
@@ -213,6 +286,18 @@ def _stats(args: argparse.Namespace) -> int:
             "plan cache", delta["plan_cache_hits"], delta["plan_cache_misses"]
         )
     )
+    breaker = engine.store.executor.breaker.snapshot()
+    io = engine.metrics.snapshot()
+    print("resilience:")
+    print(
+        f"  breaker        {breaker['open_regions']} open / "
+        f"{breaker['tracked_regions']} tracked region(s), "
+        f"{breaker['trips']} trip(s)"
+    )
+    print(
+        f"  fault counters {io['faults_injected']} faults injected, "
+        f"{io['retries']} retries, {io['ranges_skipped']} ranges skipped"
+    )
     return 0
 
 
@@ -290,6 +375,9 @@ def _chaos(args: argparse.Namespace) -> int:
                 and [tid for _, tid in k.answers] == base_topk
             ):
                 matches += 1
+        # Snapshot before detaching: removing the injector resets the
+        # executor's breaker state for the next (fault-free) epoch.
+        breaker_state = engine.store.executor.breaker.snapshot()
     finally:
         engine.install_fault_injector(None)
     delta = engine.metrics.diff(before)
@@ -313,6 +401,14 @@ def _chaos(args: argparse.Namespace) -> int:
         f"(virtual latency {injected['virtual_latency_seconds']:.2f}s)"
     )
     print(f"  breaker trips:   {delta['breaker_trips']}")
+    print(
+        f"  breaker state:   {breaker_state['open_regions']} open / "
+        f"{breaker_state['tracked_regions']} tracked region(s) at run end"
+    )
+    print(
+        f"  fault counters:  {delta['faults_injected']} injected, "
+        f"{delta['ranges_skipped']} ranges skipped"
+    )
     print(f"  degraded mode:   {'on' if args.degraded else 'off'}")
     print(f"  skipped ranges:  {skipped_total}")
     print(
@@ -397,6 +493,46 @@ def build_parser() -> argparse.ArgumentParser:
     add_query_args(topk)
     topk.add_argument("--k", type=int, required=True)
     topk.set_defaults(func=_topk)
+
+    def add_trace_args(p):
+        p.add_argument("--eps", type=float, default=None)
+        p.add_argument("--k", type=int, default=None)
+        p.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        p.add_argument(
+            "--show-events",
+            action="store_true",
+            help="include span events (per-lemma filter decisions)",
+        )
+        p.add_argument(
+            "--max-children",
+            type=int,
+            default=16,
+            help="rendered child spans per node before elision",
+        )
+
+    explain = sub.add_parser(
+        "explain",
+        help="describe a query plan; --analyze runs the query under "
+        "tracing and reports per-phase measurements",
+    )
+    add_query_args(explain)
+    add_trace_args(explain)
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute the query and tie each phase to "
+        "its measured counts and durations",
+    )
+    explain.set_defaults(func=_explain)
+
+    trace = sub.add_parser(
+        "trace", help="run one query under tracing and print the span tree"
+    )
+    add_query_args(trace)
+    add_trace_args(trace)
+    trace.set_defaults(func=_trace)
 
     range_ = sub.add_parser("range", help="spatial range query")
     range_.add_argument("--store", required=True)

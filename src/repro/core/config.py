@@ -71,6 +71,14 @@ class TraSSConfig:
     #: pruning-plan cache entries (0 = disabled); plans depend only on
     #: (query points, eps, index geometry), so caching is always sound
     plan_cache_size: int = 128
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    #: queries at/above this wall time (seconds) enter the slow-query
+    #: log; ``None`` disables slow-query logging
+    slow_query_threshold_seconds: Optional[float] = None
+    #: capacity of the slow-query ring buffer
+    slow_query_log_size: int = 128
 
     def __post_init__(self) -> None:
         if self.shards < 1 or self.shards > 256:
@@ -129,6 +137,19 @@ class TraSSConfig:
             raise QueryError(
                 f"plan_cache_size must be non-negative, got "
                 f"{self.plan_cache_size}"
+            )
+        if (
+            self.slow_query_threshold_seconds is not None
+            and self.slow_query_threshold_seconds < 0
+        ):
+            raise QueryError(
+                "slow_query_threshold_seconds must be non-negative or "
+                f"None, got {self.slow_query_threshold_seconds}"
+            )
+        if self.slow_query_log_size < 1:
+            raise QueryError(
+                f"slow_query_log_size must be >= 1, got "
+                f"{self.slow_query_log_size}"
             )
 
     def make_measure(self) -> Measure:

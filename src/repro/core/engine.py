@@ -17,6 +17,8 @@ Per-call ``measure`` overrides support the Section VII experiments
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import TraSSConfig
@@ -29,6 +31,9 @@ from repro.geometry.mbr import MBR
 from repro.geometry.trajectory import Trajectory
 from repro.kvstore.metrics import IOMetrics
 from repro.measures.base import Measure, get_measure
+from repro.obs.registry import MetricsRegistry, update_registry_from_engine
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 
 class TraSS:
@@ -48,6 +53,22 @@ class TraSS:
             metrics=self.store.metrics,
         )
         self.measure: Measure = self.config.make_measure()
+        self._init_observability()
+
+    def _init_observability(self) -> None:
+        """Wire the tracing / metrics / slow-log read models.
+
+        Tracing starts off (the :data:`NULL_TRACER` sentinel); the
+        registry and slow-query log exist from the start so counters
+        and slow queries accumulate whether or not anyone exports them.
+        """
+        self._tracer = NULL_TRACER
+        self.store.executor.tracer = NULL_TRACER
+        self.registry = MetricsRegistry()
+        self.slow_query_log = SlowQueryLog(
+            capacity=self.config.slow_query_log_size,
+            threshold_seconds=self.config.slow_query_threshold_seconds,
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -94,6 +115,8 @@ class TraSS:
         ``--scan-workers`` / ``--cache-mb`` overrides."""
         self.store.configure_execution(scan_workers, cache_mb, plan_cache_size)
         self.config = self.store.config
+        # The store rebuilt its executor; keep the active tracer wired.
+        self.store.executor.tracer = self._tracer
         if plan_cache_size is not None:
             from repro.kvstore.cache import ObjectLRUCache
 
@@ -105,6 +128,90 @@ class TraSS:
         if measure is None:
             return self.measure
         return get_measure(measure)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    def make_tracer(self) -> Tracer:
+        """A tracer on the executor's clock: real monotonic time
+        normally, purely virtual time under fault injection — so chaos
+        traces are a deterministic function of ``(seed, workload)``."""
+        return Tracer(clock=self.store.executor.trace_clock)
+
+    def set_tracer(self, tracer) -> None:
+        """Install ``tracer`` on the engine and its executor (``None``
+        turns tracing off)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.store.executor.tracer = self._tracer
+
+    @contextmanager
+    def traced(self, tracer=None):
+        """Run queries under ``tracer`` (a fresh one when omitted),
+        restoring the previous tracer afterwards::
+
+            with engine.traced() as tracer:
+                engine.threshold_search(q, eps)
+            root = tracer.traces()[-1]
+        """
+        if tracer is None:
+            tracer = self.make_tracer()
+        previous = self._tracer
+        self.set_tracer(tracer)
+        try:
+            yield tracer
+        finally:
+            self.set_tracer(previous)
+
+    def _observe_query(
+        self, kind: str, query: Trajectory, parameter: float, seconds: float, result
+    ) -> None:
+        """Per-query bookkeeping: latency histogram, query counters and
+        the slow-query log.  Pure read-model — never touches IOMetrics."""
+        self.registry.histogram(
+            "trass.query.seconds", "query wall time in seconds"
+        ).observe(seconds)
+        self.registry.counter(
+            f"trass.query.{kind}.count", f"{kind} queries answered"
+        ).inc()
+        self.slow_query_log.observe(
+            kind=kind,
+            query_tid=query.tid,
+            parameter=float(parameter),
+            seconds=seconds,
+            candidates=result.candidates,
+            answers=len(result.answers),
+            completeness=result.completeness,
+        )
+
+    def explain_analyze(
+        self,
+        query: Trajectory,
+        eps: Optional[float] = None,
+        k: Optional[int] = None,
+        measure: Optional[str] = None,
+    ):
+        """Run the query under tracing and return an
+        :class:`~repro.obs.explain.ExplainAnalyzeReport` tying every
+        phase to its measured counts and durations."""
+        from repro.obs.explain import explain_analyze as _explain_analyze
+
+        return _explain_analyze(self, query, eps=eps, k=k, measure=measure)
+
+    def export_metrics(self, fmt: str = "json"):
+        """Refresh the metrics registry from current engine state and
+        export it (``"json"`` dict or ``"prometheus"`` text)."""
+        update_registry_from_engine(self.registry, self)
+        if fmt == "json":
+            return self.registry.to_json()
+        if fmt in ("prometheus", "prom", "text"):
+            return self.registry.to_prometheus()
+        raise QueryError(
+            f"unknown metrics format {fmt!r} (use 'json' or 'prometheus')"
+        )
 
     # ------------------------------------------------------------------
     # Fault injection / resilience
@@ -136,9 +243,27 @@ class TraSS:
         be index-pruned; they are answered by a verified full scan.
         """
         resolved = self._resolve_measure(measure)
-        if not resolved.supports_point_lower_bound:
-            return self._full_scan_threshold(query, eps, resolved)
-        return threshold_search(self.store, self.pruner, resolved, query, eps)
+        tracer = self._tracer
+        started = time.perf_counter()
+        with tracer.span(
+            "query.threshold", tid=query.tid, eps=eps, measure=resolved.name
+        ) as root:
+            if not resolved.supports_point_lower_bound:
+                result = self._full_scan_threshold(query, eps, resolved)
+            else:
+                result = threshold_search(
+                    self.store, self.pruner, resolved, query, eps, tracer
+                )
+            root.set_attrs(
+                answers=len(result.answers),
+                candidates=result.candidates,
+                rows_retrieved=result.retrieved_rows,
+                completeness=result.completeness,
+            )
+        self._observe_query(
+            "threshold", query, eps, time.perf_counter() - started, result
+        )
+        return result
 
     def topk_search(
         self,
@@ -152,9 +277,27 @@ class TraSS:
         full scan (the index's geometric bounds do not bound them).
         """
         resolved = self._resolve_measure(measure)
-        if not resolved.supports_point_lower_bound:
-            return self._full_scan_topk(query, k, resolved)
-        return topk_search(self.store, self.pruner, resolved, query, k)
+        tracer = self._tracer
+        started = time.perf_counter()
+        with tracer.span(
+            "query.topk", tid=query.tid, k=k, measure=resolved.name
+        ) as root:
+            if not resolved.supports_point_lower_bound:
+                result = self._full_scan_topk(query, k, resolved)
+            else:
+                result = topk_search(
+                    self.store, self.pruner, resolved, query, k, tracer
+                )
+            root.set_attrs(
+                answers=len(result.answers),
+                candidates=result.candidates,
+                rows_retrieved=result.retrieved_rows,
+                completeness=result.completeness,
+            )
+        self._observe_query(
+            "topk", query, k, time.perf_counter() - started, result
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Fallbacks for non-prunable measures (Section IX future work)
@@ -303,11 +446,13 @@ class TraSS:
             metrics=store.metrics,
         )
         engine.measure = store.config.make_measure()
+        engine._init_observability()
         return engine
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """A bundle of store-level statistics (used by the benches)."""
+        injector = self.fault_injector
         return {
             "trajectories": self.store.trajectory_count,
             "regions": self.store.table.num_regions,
@@ -317,4 +462,11 @@ class TraSS:
             ),
             "approximate_bytes": self.store.table.approximate_size,
             "io": self.metrics.snapshot(),
+            "resilience": {
+                "breaker": self.store.executor.breaker.snapshot(),
+                "faults": (
+                    injector.summary() if injector is not None else None
+                ),
+            },
+            "slow_queries": self.slow_query_log.to_json(),
         }

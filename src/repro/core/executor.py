@@ -41,8 +41,16 @@ from repro.exceptions import (
 )
 from repro.kvstore.metrics import IOMetrics
 from repro.kvstore.table import KVTable, ScanRange
+from repro.obs.tracing import NULL_TRACER
 
 RegionSpan = Tuple[Optional[bytes], Optional[bytes]]
+
+
+def _key_label(key: Optional[bytes]) -> str:
+    """A short printable label for a row key in span attributes."""
+    if key is None:
+        return "-inf"
+    return key[:12].hex()
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,17 @@ class CircuitBreaker:
         self._open_until: Dict[RegionSpan, float] = {}
         #: total open transitions
         self.trips = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current breaker state for operational reporting (the
+        ``repro chaos`` / ``repro stats`` CLIs and the metrics
+        registry's ``trass.resilience.breaker.*`` gauges)."""
+        return {
+            "open_regions": len(self._open_until),
+            "tracked_regions": len(self._consecutive),
+            "trips": self.trips,
+            "any_open": bool(self._open_until),
+        }
 
     def is_open(self, span: RegionSpan, now: float) -> bool:
         until = self._open_until.get(span)
@@ -207,6 +226,9 @@ class ResilientExecutor:
         self._rng = random.Random(seed)
         #: virtual seconds of backoff charged against deadlines
         self.virtual_backoff_seconds = 0.0
+        #: span tracer; the engine swaps in a real one when tracing is
+        #: enabled (NULL_TRACER costs one attribute load per range)
+        self.tracer = NULL_TRACER
 
     def reset(self) -> None:
         """Start a fresh fault epoch: clear breaker state and the
@@ -255,6 +277,20 @@ class ResilientExecutor:
             return None
         return self._now() + self.deadline_seconds
 
+    def trace_clock(self) -> float:
+        """The clock span tracers should read.
+
+        Under fault injection the clock is *purely virtual* (injected
+        straggler latency plus backoff charges) so span durations of a
+        chaos run are a deterministic function of ``(seed, workload)``;
+        on a healthy table it is the executor's wall-plus-virtual
+        clock.
+        """
+        injector = getattr(self.table, "fault_injector", None)
+        if injector is not None:
+            return self.virtual_backoff_seconds + injector.virtual_seconds
+        return self._now()
+
     # ------------------------------------------------------------------
     def execute(
         self,
@@ -278,8 +314,8 @@ class ResilientExecutor:
             report = ScanReport()
         if deadline is None:
             deadline = self.deadline_from_now()
-        for scan_range in ranges:
-            self._execute_one(scan_range, fn, report, deadline)
+        for index, scan_range in enumerate(ranges):
+            self._execute_one(scan_range, fn, report, deadline, trace_index=index)
         return report
 
     def _execute_one(
@@ -288,13 +324,69 @@ class ResilientExecutor:
         fn: Callable[[ScanRange], None],
         report: ScanReport,
         deadline: Optional[float],
+        trace_index: Optional[int] = None,
+        trace_parent=None,
     ) -> None:
-        """One range with the full deadline / breaker / retry pipeline.
+        """One range with the full deadline / breaker / retry pipeline,
+        wrapped in a ``scan.range`` span when tracing is on.
 
-        Factored out of :meth:`execute` so the parallel executor can
-        run it per worker against a private report while keeping the
-        exact per-range semantics.
+        The span carries the range keys, the executing worker thread,
+        retry / fault / breaker deltas and per-range cache hits;
+        ``trace_parent`` carries the submitting thread's span across
+        the pool, and ``plan.index`` lets the parallel path reassemble
+        children in plan order.  With the no-op tracer this is a single
+        attribute check on top of :meth:`_run_range`.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._run_range(scan_range, fn, report, deadline)
+            return
+        before = (
+            report.retries,
+            report.faults_encountered,
+            report.breaker_short_circuits,
+            report.ranges_completed,
+            len(report.skipped_ranges),
+        )
+        metrics = self.table.metrics
+        cache_before = (metrics.block_cache_hits, metrics.record_cache_hits)
+        span = tracer.span(
+            "scan.range",
+            parent=trace_parent,
+            start=_key_label(scan_range.start),
+            stop=_key_label(scan_range.stop),
+        )
+        if trace_index is not None:
+            span.set_attr("plan.index", trace_index)
+        with span:
+            span.set_attr("worker", threading.current_thread().name)
+            try:
+                self._run_range(scan_range, fn, report, deadline)
+            finally:
+                span.set_attrs(
+                    retries=report.retries - before[0],
+                    faults=report.faults_encountered - before[1],
+                    breaker_rejections=report.breaker_short_circuits
+                    - before[2],
+                    completed=report.ranges_completed > before[3],
+                    skipped=len(report.skipped_ranges) > before[4],
+                    block_cache_hits=metrics.block_cache_hits
+                    - cache_before[0],
+                    record_cache_hits=metrics.record_cache_hits
+                    - cache_before[1],
+                )
+
+    def _run_range(
+        self,
+        scan_range: ScanRange,
+        fn: Callable[[ScanRange], None],
+        report: ScanReport,
+        deadline: Optional[float],
+    ) -> None:
+        """The untraced per-range pipeline (factored out of
+        :meth:`execute` so the parallel executor can run it per worker
+        against a private report while keeping exact per-range
+        semantics)."""
         report.ranges_total += 1
         if deadline is not None and self._now() > deadline:
             self._give_up_deadline(scan_range, report)
@@ -472,8 +564,14 @@ class ParallelScanExecutor(ResilientExecutor):
         if report is None:
             report = ScanReport()
         deadline = self.deadline_from_now()
+        # Trace-context propagation: workers attach their range spans
+        # to the span active on the submitting thread, tagged with the
+        # plan index so the tree reassembles in plan order below.
+        trace_parent = (
+            self.tracer.current_span if self.tracer.enabled else None
+        )
 
-        def run_part(part: Sequence[ScanRange]):
+        def run_part(part: Sequence[ScanRange], base_index: int):
             sink = IOMetrics()
             self.table.bind_thread_metrics(sink)
             try:
@@ -483,7 +581,7 @@ class ParallelScanExecutor(ResilientExecutor):
                 chunks: List[List[Tuple[bytes, bytes]]] = []
                 sub = ScanReport()
                 error: Optional[Exception] = None
-                for scan_range in part:
+                for offset, scan_range in enumerate(part):
                     chunk: List[Tuple[bytes, bytes]] = []
 
                     def consume(r: ScanRange, _chunk=chunk) -> None:
@@ -492,7 +590,14 @@ class ParallelScanExecutor(ResilientExecutor):
                         )
 
                     try:
-                        self._execute_one(scan_range, consume, sub, deadline)
+                        self._execute_one(
+                            scan_range,
+                            consume,
+                            sub,
+                            deadline,
+                            trace_index=base_index + offset,
+                            trace_parent=trace_parent,
+                        )
                     except Exception as exc:  # re-raised in plan order below
                         error = exc
                         break  # sequential semantics: stop at the error
@@ -514,7 +619,10 @@ class ParallelScanExecutor(ResilientExecutor):
             for i in range(0, len(ranges), per_worker)
         ]
         pool = self._ensure_pool()
-        futures = [pool.submit(run_part, part) for part in parts]
+        futures = [
+            pool.submit(run_part, part, i * per_worker)
+            for i, part in enumerate(parts)
+        ]
         rows: List[Tuple[bytes, bytes]] = []
         first_error: Optional[Exception] = None
         for future in futures:  # plan order, regardless of completion order
@@ -527,6 +635,10 @@ class ParallelScanExecutor(ResilientExecutor):
                 first_error = error
             for chunk in chunks:
                 rows.extend(chunk)
+        if trace_parent is not None:
+            # Workers appended their spans in completion order; restore
+            # plan order so the rendered tree matches a sequential run.
+            self.tracer.sort_children(trace_parent)
         if first_error is not None:
             raise first_error
         return rows, report

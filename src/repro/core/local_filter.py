@@ -31,6 +31,7 @@ from repro.geometry.mbr import MBR
 from repro.geometry.trajectory import Trajectory
 from repro.kvstore.filters import RowFilter
 from repro.measures.base import Measure
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass
@@ -61,6 +62,17 @@ class LocalFilterStats:
         self.rejected_rep_points += other.rejected_rep_points
         self.rejected_boxes += other.rejected_boxes
         self.passed += other.passed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "evaluated": self.evaluated,
+            "rejected_mbr": self.rejected_mbr,
+            "rejected_start_end": self.rejected_start_end,
+            "rejected_rep_points": self.rejected_rep_points,
+            "rejected_boxes": self.rejected_boxes,
+            "rejected": self.rejected,
+            "passed": self.passed,
+        }
 
 
 class LocalFilter:
@@ -96,6 +108,9 @@ class LocalFilter:
         self.stats = LocalFilterStats()
         #: ablation switch: which lemma stages run (default: all)
         self.stages = self.ALL_STAGES if stages is None else frozenset(stages)
+        #: span-event sink; shared by :meth:`spawn` clones so worker
+        #: events land on the worker's active scan span
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def set_threshold(self, eps: float) -> None:
@@ -119,9 +134,12 @@ class LocalFilter:
         """True when the record survives every lemma at the current
         threshold and must go on to exact refinement."""
         self.stats.evaluated += 1
+        tracer = self.tracer if self.tracer.enabled else None
         eps = self.eps
         if eps == math.inf:
             self.stats.passed += 1
+            if tracer is not None:
+                tracer.add_event("filter.pass", tid=record.tid)
             return True
         query = self.query
         features = record.features
@@ -129,17 +147,23 @@ class LocalFilter:
         # Step 0 — MBR gap (Lemma 5 applied to the bounding boxes).
         if "mbr" in self.stages and query.mbr.distance_to_rect(features.mbr) > eps:
             self.stats.rejected_mbr += 1
+            if tracer is not None:
+                tracer.add_event("filter.reject", lemma="mbr", tid=record.tid)
             return False
 
         # Step 1 — Lemma 12, start and end points (order-aware measures).
         if "start_end" in self.stages and self.measure.supports_start_end_filter:
             q_start, q_end = query.points[0], query.points[-1]
             t_start, t_end = record.points[0], record.points[-1]
-            if math.hypot(q_start[0] - t_start[0], q_start[1] - t_start[1]) > eps:
+            if (
+                math.hypot(q_start[0] - t_start[0], q_start[1] - t_start[1]) > eps
+                or math.hypot(q_end[0] - t_end[0], q_end[1] - t_end[1]) > eps
+            ):
                 self.stats.rejected_start_end += 1
-                return False
-            if math.hypot(q_end[0] - t_end[0], q_end[1] - t_end[1]) > eps:
-                self.stats.rejected_start_end += 1
+                if tracer is not None:
+                    tracer.add_event(
+                        "filter.reject", lemma="start_end", tid=record.tid
+                    )
                 return False
 
         # Step 2 — Lemma 13 in both directions: a representative point
@@ -150,10 +174,18 @@ class LocalFilter:
             for px, py in features.rep_points:
                 if q_features.point_exceeds_boxes(px, py, eps):
                     self.stats.rejected_rep_points += 1
+                    if tracer is not None:
+                        tracer.add_event(
+                            "filter.reject", lemma="rep_points", tid=record.tid
+                        )
                     return False
             for px, py in q_features.rep_points:
                 if features.point_exceeds_boxes(px, py, eps):
                     self.stats.rejected_rep_points += 1
+                    if tracer is not None:
+                        tracer.add_event(
+                            "filter.reject", lemma="rep_points", tid=record.tid
+                        )
                     return False
 
         # Step 3 — Lemma 14 in both directions: every box edge carries a
@@ -166,14 +198,19 @@ class LocalFilter:
             and len(features.boxes) * len(q_features.boxes)
             <= self.MAX_BOX_PAIRS
         ):
-            if features.exceeds_box_bound(q_features, eps):
+            if features.exceeds_box_bound(
+                q_features, eps
+            ) or q_features.exceeds_box_bound(features, eps):
                 self.stats.rejected_boxes += 1
-                return False
-            if q_features.exceeds_box_bound(features, eps):
-                self.stats.rejected_boxes += 1
+                if tracer is not None:
+                    tracer.add_event(
+                        "filter.reject", lemma="boxes", tid=record.tid
+                    )
                 return False
 
         self.stats.passed += 1
+        if tracer is not None:
+            tracer.add_event("filter.pass", tid=record.tid)
         return True
 
 

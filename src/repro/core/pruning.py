@@ -40,6 +40,7 @@ from repro.index.position_code import CODE_QUADS, codes_for_element
 from repro.index.quadrant import ROOT, Element, smallest_enlarged_element
 from repro.index.ranges import IndexRange, merge_ranges, merge_values_to_ranges
 from repro.index.xzstar import XZStarIndex
+from repro.obs.tracing import NULL_TRACER
 
 
 def min_points_rect_distance(
@@ -141,33 +142,63 @@ class GlobalPruner:
         return min_r, max_r
 
     # ------------------------------------------------------------------
-    def prune(self, query: Trajectory, eps: float) -> PruningResult:
+    def prune(
+        self, query: Trajectory, eps: float, tracer=None
+    ) -> PruningResult:
         """Run Algorithm 1: candidate index values for ``(query, eps)``.
 
         With a plan cache attached, a repeated ``(query, eps)`` returns
         the previously computed :class:`PruningResult` (treat it as
-        read-only) and skips the tree walk entirely.
+        read-only) and skips the tree walk entirely.  ``tracer`` (a
+        :class:`~repro.obs.tracing.Tracer`) records a ``prune`` span
+        with the hierarchy-walk and range-merge tallies.
         """
+        if tracer is None:
+            tracer = NULL_TRACER
         if eps < 0:
             raise QueryError(f"threshold must be non-negative, got {eps}")
-        cache = self.plan_cache
-        cache_key = None
-        if cache is not None:
-            band = self.resolution_band(query, eps)
-            cache_key = (query.points, eps, band, self.use_position_codes)
-            cached = cache.get(cache_key)
-            if cached is not None:
+        with tracer.span("prune", eps=eps) as span:
+            cache = self.plan_cache
+            cache_key = None
+            if cache is not None:
+                band = self.resolution_band(query, eps)
+                cache_key = (query.points, eps, band, self.use_position_codes)
+                cached = cache.get(cache_key)
+                if cached is not None:
+                    if self.metrics is not None:
+                        self.metrics.plan_cache_hits += 1
+                    span.set_attr("plan_cache", "hit")
+                    self._trace_plan(span, cached)
+                    return cached
                 if self.metrics is not None:
-                    self.metrics.plan_cache_hits += 1
-                return cached
-            if self.metrics is not None:
-                self.metrics.plan_cache_misses += 1
-        result = self._prune_uncached(query, eps)
-        if cache is not None:
-            cache.put(cache_key, result)
+                    self.metrics.plan_cache_misses += 1
+            result = self._prune_uncached(query, eps, tracer)
+            if cache is not None:
+                cache.put(cache_key, result)
+            span.set_attr(
+                "plan_cache", "miss" if cache is not None else "off"
+            )
+            self._trace_plan(span, result)
         return result
 
-    def _prune_uncached(self, query: Trajectory, eps: float) -> PruningResult:
+    @staticmethod
+    def _trace_plan(span, result: PruningResult) -> None:
+        span.set_attrs(
+            min_resolution=result.min_resolution,
+            max_resolution=result.max_resolution,
+            elements_visited=result.elements_visited,
+            elements_pruned_distance=result.elements_pruned_distance,
+            codes_pruned_far_quad=result.codes_pruned_far_quad,
+            codes_pruned_min_dist=result.codes_pruned_min_dist,
+            collapsed_subtrees=result.collapsed_subtrees,
+            truncated=result.truncated,
+            key_ranges=len(result.ranges),
+            index_spaces=result.num_index_spaces,
+        )
+
+    def _prune_uncached(
+        self, query: Trajectory, eps: float, tracer=NULL_TRACER
+    ) -> PruningResult:
         min_r, max_r = self.resolution_band(query, eps)
         result = PruningResult(
             values=[], ranges=[], min_resolution=min_r, max_resolution=max_r
@@ -189,45 +220,59 @@ class GlobalPruner:
 
         subtree_ranges: List[IndexRange] = []
         stack: List[Element] = [ROOT]
-        while stack:
-            element = stack.pop()
-            result.elements_visited += 1
-            ee_world = self.index.element_world_mbr(element)
-            # Lemma 8: the enlarged element must meet the extended MBR.
-            if not ee_world.intersects(ext_world):
-                result.elements_pruned_distance += 1
-                continue
-            # Lemma 9: minDistEE is monotone down the tree.
-            if min_dist_edges_to_rect(query_mbr, ee_world) > eps:
-                result.elements_pruned_distance += 1
-                continue
-            if result.elements_visited > self.max_planned_elements:
-                # Safety valve: accept the remaining subtree wholesale.
-                # A superset of index spaces is sound — extra rows are
-                # removed by local filtering and refinement.
-                result.truncated = True
-                if element.level >= 1:
+        with tracer.span("prune.walk") as walk_span:
+            while stack:
+                element = stack.pop()
+                result.elements_visited += 1
+                ee_world = self.index.element_world_mbr(element)
+                # Lemma 8: the enlarged element must meet the extended MBR.
+                if not ee_world.intersects(ext_world):
+                    result.elements_pruned_distance += 1
+                    continue
+                # Lemma 9: minDistEE is monotone down the tree.
+                if min_dist_edges_to_rect(query_mbr, ee_world) > eps:
+                    result.elements_pruned_distance += 1
+                    continue
+                if result.elements_visited > self.max_planned_elements:
+                    # Safety valve: accept the remaining subtree wholesale.
+                    # A superset of index spaces is sound — extra rows are
+                    # removed by local filtering and refinement.
+                    result.truncated = True
+                    if element.level >= 1:
+                        subtree_ranges.append(
+                            IndexRange(*self.index.subtree_span(element))
+                        )
+                    continue
+                if (
+                    element.level >= max(min_r, 1)
+                    and element.level < max_r
+                    and element.cell_width * world_scale <= collapse_cell
+                ):
                     subtree_ranges.append(
                         IndexRange(*self.index.subtree_span(element))
                     )
-                continue
-            if (
-                element.level >= max(min_r, 1)
-                and element.level < max_r
-                and element.cell_width * world_scale <= collapse_cell
-            ):
-                subtree_ranges.append(
-                    IndexRange(*self.index.subtree_span(element))
-                )
-                result.collapsed_subtrees += 1
-                continue
-            if element.level >= min_r:
-                self._select_codes(element, xs, ys, query_mbr, eps, result)
-            if element.level < max_r:
-                stack.extend(element.children())
+                    result.collapsed_subtrees += 1
+                    continue
+                if element.level >= min_r:
+                    self._select_codes(element, xs, ys, query_mbr, eps, result)
+                if element.level < max_r:
+                    stack.extend(element.children())
+        walk_span.set_attrs(
+            elements_visited=result.elements_visited,
+            elements_pruned_distance=result.elements_pruned_distance,
+            codes_pruned_far_quad=result.codes_pruned_far_quad,
+            codes_pruned_min_dist=result.codes_pruned_min_dist,
+            collapsed_subtrees=result.collapsed_subtrees,
+        )
 
-        ranges = merge_values_to_ranges(result.values) + subtree_ranges
-        result.ranges = merge_ranges(ranges)
+        with tracer.span("prune.ranges") as merge_span:
+            ranges = merge_values_to_ranges(result.values) + subtree_ranges
+            result.ranges = merge_ranges(ranges)
+            merge_span.set_attrs(
+                values=len(result.values),
+                subtree_ranges=len(subtree_ranges),
+                key_ranges=len(result.ranges),
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -374,6 +374,10 @@ class TrajectoryStore:
                 "scan_workers": self.config.scan_workers,
                 "cache_mb": self.config.cache_mb,
                 "plan_cache_size": self.config.plan_cache_size,
+                "slow_query_threshold_seconds": (
+                    self.config.slow_query_threshold_seconds
+                ),
+                "slow_query_log_size": self.config.slow_query_log_size,
             },
         }
         with open(os.path.join(directory, "STORE.json"), "w") as fh:
@@ -423,6 +427,10 @@ class TrajectoryStore:
             scan_workers=cfg_raw.get("scan_workers", 1),
             cache_mb=cfg_raw.get("cache_mb", 0.0),
             plan_cache_size=cfg_raw.get("plan_cache_size", 128),
+            slow_query_threshold_seconds=cfg_raw.get(
+                "slow_query_threshold_seconds"
+            ),
+            slow_query_log_size=cfg_raw.get("slow_query_log_size", 128),
         )
         store = cls(config, meta["key_encoding"])
         store.table = load_table(directory)

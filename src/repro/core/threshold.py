@@ -12,13 +12,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.executor import ScanReport
-from repro.core.local_filter import LocalFilter, LocalFilterRowFilter
+from repro.core.local_filter import (
+    LocalFilter,
+    LocalFilterRowFilter,
+    LocalFilterStats,
+)
 from repro.core.pruning import GlobalPruner, PruningResult
 from repro.core.storage import TrajectoryRecord, TrajectoryStore
 from repro.exceptions import QueryError
 from repro.geometry.trajectory import Trajectory
 from repro.kvstore.table import ScanRange
 from repro.measures.base import Measure
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass
@@ -38,6 +43,9 @@ class ThresholdSearchResult:
     #: retry / degraded-mode accounting for the scan phase (None for
     #: paths that bypass the key-value scan, e.g. full-scan fallbacks)
     resilience: Optional[ScanReport] = None
+    #: per-lemma rejection funnel from local filtering (None for
+    #: full-scan fallbacks, which bypass Algorithm 2)
+    filter_stats: Optional[LocalFilterStats] = None
 
     @property
     def precision(self) -> float:
@@ -72,13 +80,22 @@ def threshold_search(
     measure: Measure,
     query: Trajectory,
     eps: float,
+    tracer=None,
 ) -> ThresholdSearchResult:
-    """Run Algorithm 3 against a trajectory store."""
+    """Run Algorithm 3 against a trajectory store.
+
+    ``tracer`` (a :class:`~repro.obs.tracing.Tracer`) records the
+    prune / scan / refine phase spans; refinement is pipelined inside
+    the scan, so its span carries the accumulated callback time rather
+    than a contiguous interval.
+    """
     if eps < 0:
         raise QueryError(f"threshold must be non-negative, got {eps}")
+    if tracer is None:
+        tracer = NULL_TRACER
 
     started = time.perf_counter()
-    pruning = pruner.prune(query, eps)
+    pruning = pruner.prune(query, eps, tracer)
     scan_ranges = store.scan_ranges_for(pruning.ranges)
     pruning_seconds = time.perf_counter() - started
 
@@ -89,6 +106,7 @@ def threshold_search(
         store.config.dp_tolerance,
         box_mode=store.config.box_mode,
     )
+    local.tracer = tracer
     row_filter = LocalFilterRowFilter(local, decoder=store.record_decoder)
 
     # Refinement is pipelined with the scan: the executor hands over
@@ -100,6 +118,8 @@ def threshold_search(
     # in one early-abandoning pass.
     answers: Dict[str, float] = {}
     refine_clock = [0.0]
+    refined_count = [0]
+    abandoned_count = [0]
     query_points = query.points
 
     def refine(chunk, used_filter) -> None:
@@ -108,21 +128,43 @@ def threshold_search(
         for key, _ in chunk:
             record = accepted[key]
             dist = measure.distance_within(query_points, record.points, eps)
+            refined_count[0] += 1
             if dist is not None:
                 answers[record.tid] = dist
+            else:
+                abandoned_count[0] += 1
         refine_clock[0] += time.perf_counter() - refine_started
 
     before = store.metrics.snapshot()
     started = time.perf_counter()
-    rows, scan_report = store.executor.scan_ranges(
-        scan_ranges, row_filter, on_range_rows=refine
-    )
+    with tracer.span("scan", ranges=len(scan_ranges)) as scan_span:
+        rows, scan_report = store.executor.scan_ranges(
+            scan_ranges, row_filter, on_range_rows=refine
+        )
     elapsed = time.perf_counter() - started
     retrieved = store.metrics.diff(before)["rows_scanned"]
     # The refine callbacks ran inside the scan wall time; split the
     # accounting so the phase totals still sum to the wall clock.
     refine_seconds = min(refine_clock[0], elapsed)
     scan_seconds = elapsed - refine_seconds
+
+    scan_span.set_attrs(
+        rows_retrieved=retrieved,
+        candidates=len(rows),
+        ranges_completed=scan_report.ranges_completed,
+        retries=scan_report.retries,
+    )
+    # The refine phase has no contiguous interval of its own — it ran
+    # interleaved inside the scan — so its span gets the accumulated
+    # callback time explicitly.
+    with tracer.span("refine") as refine_span:
+        refine_span.set_attrs(
+            refined=refined_count[0],
+            answers=len(answers),
+            early_abandoned=abandoned_count[0],
+            measure=measure.name,
+        )
+    refine_span.set_duration(refine_seconds)
 
     return ThresholdSearchResult(
         answers=answers,
@@ -133,4 +175,5 @@ def threshold_search(
         scan_seconds=scan_seconds,
         refine_seconds=refine_seconds,
         resilience=scan_report,
+        filter_stats=local.stats,
     )

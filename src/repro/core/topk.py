@@ -36,7 +36,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.executor import ScanReport
-from repro.core.local_filter import LocalFilter, LocalFilterRowFilter
+from repro.core.local_filter import (
+    LocalFilter,
+    LocalFilterRowFilter,
+    LocalFilterStats,
+)
 from repro.core.pruning import GlobalPruner, min_points_rect_distance
 from repro.core.storage import TrajectoryStore
 from repro.exceptions import QueryError
@@ -49,6 +53,7 @@ from repro.index.position_code import CODE_QUADS, codes_for_element
 from repro.index.quadrant import ROOT, Element
 from repro.index.ranges import IndexRange
 from repro.measures.base import Measure
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass
@@ -65,6 +70,9 @@ class TopKSearchResult:
     #: retry / degraded-mode accounting across every scanned unit
     #: (None for paths that bypass the key-value scan)
     resilience: Optional[ScanReport] = None
+    #: per-lemma rejection funnel from local filtering (None for
+    #: full-scan fallbacks, which bypass Algorithm 2)
+    filter_stats: Optional[LocalFilterStats] = None
 
     @property
     def worst_distance(self) -> float:
@@ -92,10 +100,18 @@ def topk_search(
     measure: Measure,
     query: Trajectory,
     k: int,
+    tracer=None,
 ) -> TopKSearchResult:
-    """Run Algorithm 4 against a trajectory store."""
+    """Run Algorithm 4 against a trajectory store.
+
+    ``tracer`` records one ``topk.unit`` span per materialised scan
+    unit (nearest-first order is the trace order) under a ``search``
+    span carrying the queue tallies.
+    """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
+    if tracer is None:
+        tracer = NULL_TRACER
     started = time.perf_counter()
 
     index = store.index
@@ -112,6 +128,7 @@ def topk_search(
         store.config.dp_tolerance,
         box_mode=store.config.box_mode,
     )
+    local.tracer = tracer
     budget = pruner.max_planned_elements
     from repro.index.quadrant import smallest_enlarged_element
 
@@ -260,6 +277,7 @@ def topk_search(
         local.set_threshold(current_eps())
         row_filter = LocalFilterRowFilter(local, decoder=store.record_decoder)
         before = store.metrics.snapshot()
+        candidates_before = candidates
 
         def consume(scan_range) -> None:
             nonlocal candidates
@@ -292,28 +310,44 @@ def topk_search(
                     heapq.heapreplace(results, (-dist, record.tid))
             local.set_threshold(current_eps())
 
-        store.executor.execute(
-            store.scan_ranges_for([unit]),
-            consume,
-            report=scan_report,
-            deadline=deadline,
-        )
-        retrieved += store.metrics.diff(before)["rows_scanned"]
+        with tracer.span(
+            "topk.unit", start=unit.start, stop=unit.stop
+        ) as unit_span:
+            store.executor.execute(
+                store.scan_ranges_for([unit]),
+                consume,
+                report=scan_report,
+                deadline=deadline,
+            )
+            unit_rows = store.metrics.diff(before)["rows_scanned"]
+            retrieved += unit_rows
+            unit_span.set_attrs(
+                rows=unit_rows,
+                candidates=candidates - candidates_before,
+                answers=len(results),
+            )
 
-    while eq or iq:
-        if scan_report.deadline_exceeded:
-            break  # budget spent; completeness accounting says how much
-        eps = current_eps()
-        eq_top = eq[0][0] if eq else math.inf
-        iq_top = iq[0][0] if iq else math.inf
-        if min(eq_top, iq_top) > eps:
-            break  # nothing unexplored can beat the current k-th answer
-        if iq_top <= eq_top:
-            _, _, unit = heapq.heappop(iq)
-            materialise(unit)
-        else:
-            dist, _, element = heapq.heappop(eq)
-            expand_element(element, dist)
+    with tracer.span("search", k=k) as search_span:
+        while eq or iq:
+            if scan_report.deadline_exceeded:
+                break  # budget spent; completeness accounting says how much
+            eps = current_eps()
+            eq_top = eq[0][0] if eq else math.inf
+            iq_top = iq[0][0] if iq else math.inf
+            if min(eq_top, iq_top) > eps:
+                break  # nothing unexplored can beat the current k-th answer
+            if iq_top <= eq_top:
+                _, _, unit = heapq.heappop(iq)
+                materialise(unit)
+            else:
+                dist, _, element = heapq.heappop(eq)
+                expand_element(element, dist)
+        search_span.set_attrs(
+            units_scanned=units_scanned,
+            elements_expanded=elements_expanded,
+            candidates=candidates,
+            rows_retrieved=retrieved,
+        )
 
     answers = sorted((-neg, tid) for neg, tid in results)
     return TopKSearchResult(
@@ -324,4 +358,5 @@ def topk_search(
         elements_expanded=elements_expanded,
         total_seconds=time.perf_counter() - started,
         resilience=scan_report,
+        filter_stats=local.stats,
     )

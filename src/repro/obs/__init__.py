@@ -1,0 +1,49 @@
+"""Observability: query tracing, the metrics registry, EXPLAIN
+ANALYZE and the slow-query log.
+
+Everything here is read-model machinery over the engine's existing
+accounting: tracing is zero-overhead when off (the default
+:data:`~repro.obs.tracing.NULL_TRACER` allocates nothing) and never
+perturbs :class:`~repro.kvstore.metrics.IOMetrics`, so observed and
+unobserved queries return byte-identical answers and counters.
+"""
+
+from repro.obs.explain import ExplainAnalyzeReport, explain_analyze
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    IO_METRIC_NAMES,
+    MetricsRegistry,
+    parse_prometheus,
+    update_registry_from_engine,
+)
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    format_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "ExplainAnalyzeReport",
+    "Gauge",
+    "Histogram",
+    "IO_METRIC_NAMES",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NoopTracer",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "explain_analyze",
+    "format_span_tree",
+    "parse_prometheus",
+    "update_registry_from_engine",
+]

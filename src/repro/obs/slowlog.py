@@ -1,0 +1,98 @@
+"""Slow-query log: a bounded ring buffer of queries over threshold.
+
+Every query the engine answers reports its wall time here; entries at
+or above ``threshold_seconds`` are kept in a ``deque(maxlen=capacity)``
+— O(1) per query, bounded memory, oldest entries evicted first.  The
+threshold and capacity come from
+:class:`~repro.core.config.TraSSConfig` (``slow_query_threshold_seconds``
+/ ``slow_query_log_size``) and persist with the store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One over-threshold query."""
+
+    #: "threshold" or "topk"
+    kind: str
+    query_tid: str
+    #: eps for threshold queries, k for top-k
+    parameter: float
+    seconds: float
+    candidates: int
+    answers: int
+    completeness: float
+    #: wall-clock time of record (epoch seconds)
+    timestamp: float = field(default_factory=time.time)
+
+
+class SlowQueryLog:
+    """Fixed-capacity, thread-safe ring buffer of slow queries."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        threshold_seconds: Optional[float] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: queries at/above this duration are logged; ``None`` disables
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_seconds is not None
+
+    def observe(
+        self,
+        kind: str,
+        query_tid: str,
+        parameter: float,
+        seconds: float,
+        candidates: int,
+        answers: int,
+        completeness: float = 1.0,
+    ) -> bool:
+        """Record the query if it breaches the threshold; returns
+        whether it was logged."""
+        threshold = self.threshold_seconds
+        if threshold is None or seconds < threshold:
+            return False
+        entry = SlowQueryEntry(
+            kind=kind,
+            query_tid=query_tid,
+            parameter=parameter,
+            seconds=seconds,
+            candidates=candidates,
+            answers=answers,
+            completeness=completeness,
+        )
+        with self._lock:
+            self._entries.append(entry)
+        return True
+
+    def entries(self) -> List[SlowQueryEntry]:
+        """Oldest-first snapshot of the buffer."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        return [asdict(entry) for entry in self.entries()]

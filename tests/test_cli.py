@@ -222,3 +222,127 @@ class TestChaosCommand:
         )
         assert code == 0
         assert "chaos report" in capsys.readouterr().out
+
+
+class TestExplainAndTrace:
+    def test_explain_plan(self, built_store, capsys):
+        _, store_path, data = built_store
+        code = main(
+            [
+                "explain",
+                "--store",
+                store_path,
+                "--query-tid",
+                data[0].tid,
+                "--eps",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        assert "threshold search" in capsys.readouterr().out
+
+    def test_explain_without_eps_errors(self, built_store, capsys):
+        _, store_path, data = built_store
+        code = main(
+            ["explain", "--store", store_path, "--query-tid", data[0].tid]
+        )
+        assert code == 2
+        assert "requires --eps" in capsys.readouterr().err
+
+    def test_explain_analyze_render(self, built_store, capsys):
+        _, store_path, data = built_store
+        code = main(
+            [
+                "explain",
+                "--store",
+                store_path,
+                "--query-tid",
+                data[0].tid,
+                "--eps",
+                "0.01",
+                "--analyze",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE threshold" in out
+        assert "local filter funnel" in out
+        assert "query.threshold" in out
+        assert "scan.range" in out
+
+    def test_explain_analyze_json(self, built_store, capsys):
+        import json
+
+        _, store_path, data = built_store
+        code = main(
+            [
+                "explain",
+                "--store",
+                store_path,
+                "--query-tid",
+                data[0].tid,
+                "--k",
+                "3",
+                "--analyze",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "topk"
+        assert payload["trace"]["name"] == "query.topk"
+        assert payload["answers"] == 3
+
+    def test_trace_prints_span_tree(self, built_store, capsys):
+        _, store_path, data = built_store
+        code = main(
+            [
+                "trace",
+                "--store",
+                store_path,
+                "--query-tid",
+                data[0].tid,
+                "--eps",
+                "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query.threshold" in out
+        assert "ms" in out
+
+    def test_trace_requires_exactly_one_parameter(self, built_store, capsys):
+        _, store_path, data = built_store
+        base = ["trace", "--store", store_path, "--query-tid", data[0].tid]
+        assert main(base) == 2
+        assert (
+            main(base + ["--eps", "0.01", "--k", "3"]) == 2
+        )
+
+    def test_stats_reports_resilience(self, built_store, capsys):
+        _, store_path, _ = built_store
+        code = main(["stats", "--store", store_path, "--probes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "breaker" in out
+        assert "fault counters" in out
+
+    def test_chaos_reports_breaker_and_faults(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--trajectories",
+                "40",
+                "--queries",
+                "2",
+                "--seed",
+                "3",
+                "--retry-attempts",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "breaker state:" in out
+        assert "fault counters:" in out

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import TraSS, TraSSConfig, Trajectory, SpaceBounds
+from repro import QueryError, TraSS, TraSSConfig, Trajectory, SpaceBounds
 
 BOUNDS = SpaceBounds(0, 0, 1, 1)
 
@@ -97,3 +97,29 @@ class TestQueryEdgeCases:
         engine.topk_search(data[1], 3)
         diff = engine.metrics.diff(before)
         assert diff["range_seeks"] > 0
+
+
+class TestStatsAndMetricsExport:
+    def test_stats_includes_observability_sections(self, engine_and_data):
+        engine, data = engine_and_data
+        engine.threshold_search(data[0], 0.02)
+        stats = engine.stats()
+        assert stats["io"]["range_seeks"] > 0
+        breaker = stats["resilience"]["breaker"]
+        assert set(breaker) >= {"open_regions", "tracked_regions", "trips"}
+        assert stats["resilience"]["faults"] is None  # no injector installed
+        assert isinstance(stats["slow_queries"], list)
+
+    def test_export_metrics_json(self, engine_and_data):
+        engine, data = engine_and_data
+        payload = engine.export_metrics("json")
+        assert payload["trass.store.trajectories"]["value"] == len(data)
+        assert (
+            payload["trass.io.rows_scanned"]["value"]
+            == engine.metrics.snapshot()["rows_scanned"]
+        )
+
+    def test_export_metrics_unknown_format(self, engine_and_data):
+        engine, _ = engine_and_data
+        with pytest.raises(QueryError):
+            engine.export_metrics("csv")
