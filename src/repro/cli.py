@@ -13,7 +13,11 @@ Build a persistent TraSS store from a trajectory CSV and query it::
         --eps 0.01 --analyze
     python -m repro.cli trace     --store ./store --query-tid taxi42 --k 10
     python -m repro.cli stats  --store ./store --scan-workers 4 --cache-mb 64
+    python -m repro.cli stats  --store ./store --json
     python -m repro.cli chaos  --queries 10 --seed 7 --unavailable-prob 0.3
+    python -m repro.cli heatmap --store ./store
+    python -m repro.cli doctor  --store ./store --json
+    python -m repro.cli replay  --store ./store
 
 Query commands accept ``--scan-workers`` and ``--cache-mb`` to override
 the stored execution configuration (answers are identical at any
@@ -230,6 +234,19 @@ def _stats(args: argparse.Namespace) -> int:
     """
     engine = _load_engine(args)
     cfg = engine.config
+    if args.json:
+        import json
+
+        _run_probe_workload(engine, args.probes, args.eps)
+        payload = engine.stats()
+        payload["config"] = {
+            "scan_workers": cfg.scan_workers,
+            "cache_mb": cfg.cache_mb,
+            "plan_cache_size": cfg.plan_cache_size,
+            "storage_telemetry": cfg.storage_telemetry,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
     print(f"store:            {args.store}")
     print(f"scan workers:     {cfg.scan_workers}")
     print(f"cache budget:     {cfg.cache_mb:g} MiB")
@@ -299,6 +316,98 @@ def _stats(args: argparse.Namespace) -> int:
         f"{io['retries']} retries, {io['ranges_skipped']} ranges skipped"
     )
     return 0
+
+
+def _heatmap(args: argparse.Namespace) -> int:
+    """Render the key-space heatmap (scan traffic over the salted
+    row-key space, decayed toward the recent workload).
+
+    ``--probe`` first runs a small probe workload so a freshly loaded
+    store has heat to show; without it the command renders whatever the
+    persisted TELEMETRY.json carried."""
+    engine = _load_engine(args)
+    telemetry = engine.storage_telemetry
+    if telemetry is None or telemetry.heatmap is None:
+        print(
+            "storage telemetry is disabled for this store "
+            "(config.storage_telemetry = false)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.probe:
+        _run_probe_workload(engine, args.probe, args.eps)
+    from repro.obs.heatmap import heatmap_json, render_heatmap
+
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                heatmap_json(telemetry.heatmap, engine.store.table), indent=2
+            )
+        )
+    else:
+        print(
+            render_heatmap(
+                telemetry.heatmap, engine.store.table, engine.config.shards
+            )
+        )
+    return 0
+
+
+def _run_probe_workload(engine: TraSS, probes: int, eps: float) -> None:
+    queries = []
+    for record in engine.store.all_records():
+        queries.append(record.as_trajectory())
+        if len(queries) >= probes:
+            break
+    for q in queries:
+        engine.threshold_search(q, eps)
+
+
+def _doctor(args: argparse.Namespace) -> int:
+    """Run the tuning advisor and print ranked, evidence-cited
+    recommendations."""
+    engine = _load_engine(args)
+    if args.probe:
+        _run_probe_workload(engine, args.probe, args.eps)
+    from repro.obs.advisor import render_report, report_json
+
+    recommendations = engine.doctor()
+    if args.json:
+        import json
+
+        print(json.dumps(report_json(recommendations), indent=2))
+    else:
+        print(render_report(recommendations))
+    return 0
+
+
+def _replay(args: argparse.Namespace) -> int:
+    """Re-execute the captured workload and verify answer digests.
+
+    Exit 0 when every replayed query reproduced its recorded answers
+    byte-identically, 1 on any divergence."""
+    engine = _load_engine(args)
+    recorder = engine.workload_recorder
+    if recorder is None:
+        print(
+            "workload recording is disabled for this store "
+            "(config.storage_telemetry = false)",
+            file=sys.stderr,
+        )
+        return 1
+    if len(recorder) == 0:
+        print("no recorded workload to replay", file=sys.stderr)
+        return 1
+    report = engine.replay()
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _chaos(args: argparse.Namespace) -> int:
@@ -559,8 +668,59 @@ def build_parser() -> argparse.ArgumentParser:
         "twice: cold then warm)",
     )
     stats.add_argument("--eps", type=float, default=0.01)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full stats bundle (including the storage "
+        "section) as JSON",
+    )
     add_perf_args(stats)
     stats.set_defaults(func=_stats)
+
+    heatmap = sub.add_parser(
+        "heatmap",
+        help="render scan traffic over the salted row-key space "
+        "(ASCII, or --json)",
+    )
+    heatmap.add_argument("--store", required=True)
+    heatmap.add_argument(
+        "--probe",
+        type=int,
+        default=0,
+        help="run this many probe threshold queries first so a fresh "
+        "store has heat to show",
+    )
+    heatmap.add_argument("--eps", type=float, default=0.01)
+    heatmap.add_argument("--json", action="store_true")
+    add_perf_args(heatmap)
+    heatmap.set_defaults(func=_heatmap)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="tuning advisor: ranked recommendations citing the metric "
+        "values that triggered them",
+    )
+    doctor.add_argument("--store", required=True)
+    doctor.add_argument(
+        "--probe",
+        type=int,
+        default=0,
+        help="run this many probe threshold queries before diagnosing",
+    )
+    doctor.add_argument("--eps", type=float, default=0.01)
+    doctor.add_argument("--json", action="store_true")
+    add_perf_args(doctor)
+    doctor.set_defaults(func=_doctor)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute the recorded workload and verify every answer "
+        "digest (exit 1 on divergence)",
+    )
+    replay.add_argument("--store", required=True)
+    replay.add_argument("--json", action="store_true")
+    add_perf_args(replay)
+    replay.set_defaults(func=_replay)
 
     chaos = sub.add_parser(
         "chaos",

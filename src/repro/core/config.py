@@ -79,6 +79,20 @@ class TraSSConfig:
     slow_query_threshold_seconds: Optional[float] = None
     #: capacity of the slow-query ring buffer
     slow_query_log_size: int = 128
+    # ------------------------------------------------------------------
+    # Storage observability (per-region telemetry, key-space heatmap,
+    # workload recorder).  Disabling it must not change any query answer
+    # or ``IOMetrics`` total — the telemetry layer never writes to
+    # either (the parity test pins that down).
+    # ------------------------------------------------------------------
+    #: collect per-region scan stats + key-space heat + workload log
+    storage_telemetry: bool = True
+    #: heatmap resolution: key-range buckets per salt shard
+    heatmap_buckets_per_shard: int = 16
+    #: heat half-life in recorded queries (<= 0 disables decay)
+    heat_decay_queries: float = 512.0
+    #: workload recorder ring-buffer capacity (entries)
+    workload_log_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.shards < 1 or self.shards > 256:
@@ -150,6 +164,16 @@ class TraSSConfig:
             raise QueryError(
                 f"slow_query_log_size must be >= 1, got "
                 f"{self.slow_query_log_size}"
+            )
+        if self.heatmap_buckets_per_shard < 1:
+            raise QueryError(
+                f"heatmap_buckets_per_shard must be >= 1, got "
+                f"{self.heatmap_buckets_per_shard}"
+            )
+        if self.workload_log_size < 1:
+            raise QueryError(
+                f"workload_log_size must be >= 1, got "
+                f"{self.workload_log_size}"
             )
 
     def make_measure(self) -> Measure:

@@ -69,6 +69,14 @@ class TraSS:
             capacity=self.config.slow_query_log_size,
             threshold_seconds=self.config.slow_query_threshold_seconds,
         )
+        if self.config.storage_telemetry:
+            from repro.obs.workload_log import WorkloadRecorder
+
+            self._workload_recorder = WorkloadRecorder(
+                capacity=self.config.workload_log_size
+            )
+        else:
+            self._workload_recorder = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -167,10 +175,18 @@ class TraSS:
             self.set_tracer(previous)
 
     def _observe_query(
-        self, kind: str, query: Trajectory, parameter: float, seconds: float, result
+        self,
+        kind: str,
+        query: Trajectory,
+        parameter: float,
+        seconds: float,
+        result,
+        measure: Optional[str] = None,
+        io_before: Optional[Dict[str, int]] = None,
     ) -> None:
-        """Per-query bookkeeping: latency histogram, query counters and
-        the slow-query log.  Pure read-model — never touches IOMetrics."""
+        """Per-query bookkeeping: latency histogram, query counters,
+        the slow-query log, the workload recorder and heat decay.  Pure
+        read-model — never touches IOMetrics."""
         self.registry.histogram(
             "trass.query.seconds", "query wall time in seconds"
         ).observe(seconds)
@@ -186,6 +202,55 @@ class TraSS:
             answers=len(result.answers),
             completeness=result.completeness,
         )
+        recorder = self._workload_recorder
+        if recorder is not None and recorder.enabled and io_before is not None:
+            recorder.record(
+                kind=kind,
+                query=query,
+                parameter=parameter,
+                measure=measure,
+                seconds=seconds,
+                io_delta=self.metrics.diff(io_before),
+                result=result,
+                generation=self.store.table.generation,
+            )
+        telemetry = self.storage_telemetry
+        if telemetry is not None:
+            telemetry.advance_tick()
+
+    def _io_before_query(self) -> Optional[Dict[str, int]]:
+        """A pre-query IOMetrics snapshot when the workload recorder
+        wants per-query I/O deltas (``None`` otherwise — snapshotting is
+        read-only either way, this just skips the copy)."""
+        recorder = self._workload_recorder
+        if recorder is not None and recorder.enabled:
+            return self.metrics.snapshot()
+        return None
+
+    @property
+    def storage_telemetry(self):
+        """The table's storage telemetry sink (``None`` when
+        ``config.storage_telemetry`` is off)."""
+        return self.store.table.storage_telemetry
+
+    @property
+    def workload_recorder(self):
+        """The workload capture ring buffer (``None`` when disabled)."""
+        return self._workload_recorder
+
+    def doctor(self):
+        """Run the tuning advisor; returns ranked
+        :class:`~repro.obs.advisor.Recommendation` objects."""
+        from repro.obs.advisor import diagnose
+
+        return diagnose(self)
+
+    def replay(self, entries=None):
+        """Re-execute the captured workload; returns a
+        :class:`~repro.obs.workload_log.ReplayReport`."""
+        from repro.obs.workload_log import replay_workload
+
+        return replay_workload(self, entries)
 
     def explain_analyze(
         self,
@@ -244,6 +309,7 @@ class TraSS:
         """
         resolved = self._resolve_measure(measure)
         tracer = self._tracer
+        io_before = self._io_before_query()
         started = time.perf_counter()
         with tracer.span(
             "query.threshold", tid=query.tid, eps=eps, measure=resolved.name
@@ -261,7 +327,13 @@ class TraSS:
                 completeness=result.completeness,
             )
         self._observe_query(
-            "threshold", query, eps, time.perf_counter() - started, result
+            "threshold",
+            query,
+            eps,
+            time.perf_counter() - started,
+            result,
+            measure=resolved.name,
+            io_before=io_before,
         )
         return result
 
@@ -278,6 +350,7 @@ class TraSS:
         """
         resolved = self._resolve_measure(measure)
         tracer = self._tracer
+        io_before = self._io_before_query()
         started = time.perf_counter()
         with tracer.span(
             "query.topk", tid=query.tid, k=k, measure=resolved.name
@@ -295,7 +368,13 @@ class TraSS:
                 completeness=result.completeness,
             )
         self._observe_query(
-            "topk", query, k, time.perf_counter() - started, result
+            "topk",
+            query,
+            k,
+            time.perf_counter() - started,
+            result,
+            measure=resolved.name,
+            io_before=io_before,
         )
         return result
 
@@ -429,8 +508,12 @@ class TraSS:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, directory: str) -> None:
-        """Snapshot the engine's store into ``directory``."""
+        """Snapshot the engine's store into ``directory`` (plus the
+        heatmap + workload log when storage telemetry is on)."""
         self.store.save(directory)
+        from repro.obs.workload_log import save_observability
+
+        save_observability(self, directory)
 
     @classmethod
     def load(cls, directory: str) -> "TraSS":
@@ -447,6 +530,9 @@ class TraSS:
         )
         engine.measure = store.config.make_measure()
         engine._init_observability()
+        from repro.obs.workload_log import load_observability
+
+        load_observability(engine, directory)
         return engine
 
     # ------------------------------------------------------------------
@@ -469,4 +555,10 @@ class TraSS:
                 ),
             },
             "slow_queries": self.slow_query_log.to_json(),
+            "storage": self._storage_stats(),
         }
+
+    def _storage_stats(self) -> Dict[str, object]:
+        from repro.obs.storage_stats import collect_storage_stats
+
+        return collect_storage_stats(self)

@@ -571,9 +571,16 @@ class ParallelScanExecutor(ResilientExecutor):
             self.tracer.current_span if self.tracer.enabled else None
         )
 
+        main_telemetry = self.table.storage_telemetry
+
         def run_part(part: Sequence[ScanRange], base_index: int):
             sink = IOMetrics()
-            self.table.bind_thread_metrics(sink)
+            # Like the IOMetrics sink, each worker records storage
+            # telemetry into a private spawn merged back in plan order.
+            tel_sink = (
+                main_telemetry.spawn() if main_telemetry is not None else None
+            )
+            self.table.bind_thread_metrics(sink, tel_sink)
             try:
                 worker_filter = (
                     row_filter.spawn() if row_filter is not None else None
@@ -605,7 +612,7 @@ class ParallelScanExecutor(ResilientExecutor):
                         with self._callback_lock:
                             on_range_rows(chunk, worker_filter)
                     chunks.append(chunk)
-                return chunks, sub, worker_filter, sink, error
+                return chunks, sub, worker_filter, sink, tel_sink, error
             finally:
                 self.table.unbind_thread_metrics()
 
@@ -626,8 +633,10 @@ class ParallelScanExecutor(ResilientExecutor):
         rows: List[Tuple[bytes, bytes]] = []
         first_error: Optional[Exception] = None
         for future in futures:  # plan order, regardless of completion order
-            chunks, sub, worker_filter, sink, error = future.result()
+            chunks, sub, worker_filter, sink, tel_sink, error = future.result()
             self.table.metrics.merge_from(sink)
+            if main_telemetry is not None and tel_sink is not None:
+                main_telemetry.merge_from(tel_sink)
             report.merge_from(sub)
             if row_filter is not None and worker_filter is not row_filter:
                 row_filter.absorb(worker_filter)

@@ -81,6 +81,7 @@ class TrajectoryStore:
         #: decoded-record cache; ``None`` when ``config.cache_mb == 0``
         self.record_cache = None
         self._wire_caches()
+        self._wire_telemetry()
 
     def _wire_caches(self) -> None:
         """Attach the cache tiers ``config.cache_mb`` pays for.
@@ -94,6 +95,36 @@ class TrajectoryStore:
         budget = int(self.config.cache_mb * 1024 * 1024)
         self.table.enable_scan_cache(budget // 2)
         self.record_cache = record_cache(budget - budget // 2) if budget else None
+
+    def _wire_telemetry(self) -> None:
+        """Attach the storage telemetry sink when configured.
+
+        Builds the fixed key-space heatmap grid from the store's shape
+        and hangs a :class:`~repro.obs.storage_stats.StorageTelemetry`
+        off the table.  With ``config.storage_telemetry`` off the table
+        attribute stays ``None`` and the scan path does no telemetry
+        work at all.  Called again after :meth:`load` replaces the
+        table (the grid depends only on config, so persisted heat can
+        be restored on top).
+        """
+        if not self.config.storage_telemetry:
+            self.table.storage_telemetry = None
+            return
+        from repro.obs.heatmap import KeySpaceHeatmap, key_space_boundaries
+        from repro.obs.storage_stats import StorageTelemetry
+
+        heatmap = KeySpaceHeatmap(
+            key_space_boundaries(self, self.config.heatmap_buckets_per_shard),
+            half_life=self.config.heat_decay_queries,
+        )
+        self.table.storage_telemetry = StorageTelemetry(heatmap)
+
+    def boundary_key(self, shard: int, value: int) -> bytes:
+        """The smallest row key of ``(shard, value)`` under the active
+        key encoding — the heatmap's bucket-boundary generator."""
+        if self.key_encoding == INTEGER_KEYS:
+            return encode_rowkey(shard, value, "")
+        return self._string_prefix(shard, value)
 
     def configure_execution(
         self,
@@ -378,6 +409,12 @@ class TrajectoryStore:
                     self.config.slow_query_threshold_seconds
                 ),
                 "slow_query_log_size": self.config.slow_query_log_size,
+                "storage_telemetry": self.config.storage_telemetry,
+                "heatmap_buckets_per_shard": (
+                    self.config.heatmap_buckets_per_shard
+                ),
+                "heat_decay_queries": self.config.heat_decay_queries,
+                "workload_log_size": self.config.workload_log_size,
             },
         }
         with open(os.path.join(directory, "STORE.json"), "w") as fh:
@@ -431,11 +468,17 @@ class TrajectoryStore:
                 "slow_query_threshold_seconds"
             ),
             slow_query_log_size=cfg_raw.get("slow_query_log_size", 128),
+            storage_telemetry=cfg_raw.get("storage_telemetry", True),
+            heatmap_buckets_per_shard=cfg_raw.get(
+                "heatmap_buckets_per_shard", 16
+            ),
+            heat_decay_queries=cfg_raw.get("heat_decay_queries", 512.0),
+            workload_log_size=cfg_raw.get("workload_log_size", 1024),
         )
         store = cls(config, meta["key_encoding"])
         store.table = load_table(directory)
-        # The executor and caches built in __init__ point at the
-        # discarded empty table; rebind them to the restored one.
+        # The executor, caches and telemetry built in __init__ point at
+        # the discarded empty table; rebind them to the restored one.
         store.executor = ParallelScanExecutor.from_config(store.table, config)
         store._wire_caches()
         for key, value in store.table.full_scan():
@@ -444,4 +487,7 @@ class TrajectoryStore:
             store.value_histogram[record.index_value] = (
                 store.value_histogram.get(record.index_value, 0) + 1
             )
+        # Wired after the statistics rebuild scan above, so that scan
+        # does not smear synthetic heat across the restored heatmap.
+        store._wire_telemetry()
         return store

@@ -104,11 +104,15 @@ class CompactingLSMStore(LSMStore):
     def flush(self) -> None:
         if len(self.memtable) == 0:
             return
+        import time
+
+        started = time.perf_counter()
         run = SSTable.from_entries(self.memtable.items())
         self.bytes_written += run.size_bytes
         self.sstables.insert(0, run)
         self.memtable = MemTable()
         self.flush_count += 1
+        self._record_flush(run.size_bytes, time.perf_counter() - started)
         self._policy_compact()
 
     def _policy_compact(self) -> None:
@@ -121,7 +125,9 @@ class CompactingLSMStore(LSMStore):
     def _merge_runs(self, indexes: List[int]) -> None:
         """Merge the chosen runs (newest-first order preserved)."""
         import heapq
+        import time
 
+        started = time.perf_counter()
         chosen = [self.sstables[i] for i in indexes]
         keep_tombstones = len(chosen) < len(self.sstables)
         # Newest-first priority matches the store's read path.
@@ -155,6 +161,9 @@ class CompactingLSMStore(LSMStore):
         if len(new_run):
             self.sstables.insert(insert_at, new_run)
         self.compaction_count += 1
+        self._record_compaction(
+            new_run.size_bytes, time.perf_counter() - started
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -11,9 +11,15 @@ compaction in its simplest honest form.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Iterator, List, Optional, Tuple
 
 from repro.kvstore.memtable import TOMBSTONE, Entry, MemTable
+from repro.kvstore.metrics import (
+    DURATION_BUCKETS,
+    SEEK_DEPTH_BUCKETS,
+    FixedBucketCounts,
+)
 from repro.kvstore.sstable import SSTable
 
 
@@ -34,6 +40,28 @@ class LSMStore:
         self.compaction_count = 0
         #: optional FaultInjector consulted at the flush crash points
         self.fault_injector = None
+        # ------------------------------------------------------------------
+        # Storage-engine telemetry.  Always-on local counters, like
+        # ``flush_count`` above: they never touch ``IOMetrics`` and cost
+        # a handful of integer adds, so query answers and I/O accounting
+        # are byte-identical whether or not anyone reads them.
+        # ------------------------------------------------------------------
+        #: point reads served by this store
+        self.gets = 0
+        #: total structures consulted across all point reads
+        self.seek_depth_total = 0
+        #: seek-depth distribution (1 = memtable hit)
+        self.seek_depth_hist = FixedBucketCounts(SEEK_DEPTH_BUCKETS)
+        #: payload bytes frozen into SSTables by flushes
+        self.flush_bytes = 0
+        #: wall seconds spent in flushes
+        self.flush_seconds = 0.0
+        self.flush_duration_hist = FixedBucketCounts(DURATION_BUCKETS)
+        #: payload bytes rewritten by compactions
+        self.compaction_bytes = 0
+        #: wall seconds spent in compactions
+        self.compaction_seconds = 0.0
+        self.compaction_duration_hist = FixedBucketCounts(DURATION_BUCKETS)
 
     # ------------------------------------------------------------------
     # Writes
@@ -64,9 +92,12 @@ class LSMStore:
             from repro.kvstore.faults import CRASH_MEMTABLE_FLUSH_PRE
 
             self.fault_injector.crash_point(CRASH_MEMTABLE_FLUSH_PRE)
-        self.sstables.insert(0, SSTable.from_entries(self.memtable.items()))
+        started = time.perf_counter()
+        run = SSTable.from_entries(self.memtable.items())
+        self.sstables.insert(0, run)
         self.memtable = MemTable()
         self.flush_count += 1
+        self._record_flush(run.size_bytes, time.perf_counter() - started)
         if self.fault_injector is not None:
             from repro.kvstore.faults import CRASH_MEMTABLE_FLUSH_POST
 
@@ -79,6 +110,7 @@ class LSMStore:
         tombstones (a full compaction may drop tombstones safely)."""
         if len(self.sstables) <= 1 and len(self.memtable) == 0:
             return
+        started = time.perf_counter()
         merged = [
             (key, value)
             for key, value in self._merged_entries(None, None)
@@ -87,20 +119,53 @@ class LSMStore:
         self.memtable = MemTable()
         self.sstables = [SSTable.from_entries(merged)] if merged else []
         self.compaction_count += 1
+        self._record_compaction(
+            self.sstables[0].size_bytes if self.sstables else 0,
+            time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry recording (shared with CompactingLSMStore)
+    # ------------------------------------------------------------------
+    def _record_flush(self, nbytes: int, seconds: float) -> None:
+        self.flush_bytes += nbytes
+        self.flush_seconds += seconds
+        self.flush_duration_hist.observe(seconds)
+
+    def _record_compaction(self, nbytes: int, seconds: float) -> None:
+        self.compaction_bytes += nbytes
+        self.compaction_seconds += seconds
+        self.compaction_duration_hist.observe(seconds)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def get(self, key: bytes) -> Optional[bytes]:
-        """Newest visible value for ``key`` or ``None``."""
+        """Newest visible value for ``key`` or ``None``.
+
+        Seek depth — how many structures the read consulted before
+        resolving (memtable counts as one, each SSTable one more) — is
+        the per-read face of read amplification and feeds the
+        ``trass.storage.seek_depth`` histogram.
+        """
+        self.gets += 1
+        depth = 1
         found = self.memtable.get(key)
         if found is not None:
+            self._record_seek(depth)
             return None if found is TOMBSTONE else found  # type: ignore[return-value]
         for table in self.sstables:
+            depth += 1
             found = table.get(key)
             if found is not None:
+                self._record_seek(depth)
                 return None if found is TOMBSTONE else found  # type: ignore[return-value]
+        self._record_seek(depth)
         return None
+
+    def _record_seek(self, depth: int) -> None:
+        self.seek_depth_total += depth
+        self.seek_depth_hist.observe(depth)
 
     def _merged_entries(
         self, start: Optional[bytes], stop: Optional[bytes]

@@ -28,7 +28,15 @@ _ENTRY_HEADER = struct.Struct(">IBI")  # key len, tombstone flag, value len
 class SSTable:
     """An immutable sorted run with a bloom filter."""
 
-    __slots__ = ("_keys", "_values", "bloom", "size_bytes")
+    __slots__ = (
+        "_keys",
+        "_values",
+        "bloom",
+        "size_bytes",
+        "reads",
+        "bloom_negatives",
+        "bloom_false_positives",
+    )
 
     def __init__(self, keys: List[bytes], values: List[object]):
         if len(keys) != len(values):
@@ -41,6 +49,12 @@ class SSTable:
         self._keys = keys
         self._values = values
         self.bloom = BloomFilter(max(1, len(keys)))
+        # Telemetry: point reads against this run, reads the bloom
+        # filter short-circuited, and reads it let through that then
+        # missed (the false-positive rate the tuning advisor reports).
+        self.reads = 0
+        self.bloom_negatives = 0
+        self.bloom_false_positives = 0
         self.size_bytes = 0
         for key, value in zip(keys, values):
             self.bloom.add(key)
@@ -74,11 +88,14 @@ class SSTable:
     def get(self, key: bytes) -> Optional[object]:
         """Value, ``TOMBSTONE``, or ``None``; bloom-gated binary search."""
         key = bytes(key)
+        self.reads += 1
         if not self.bloom.might_contain(key):
+            self.bloom_negatives += 1
             return None
         i = bisect.bisect_left(self._keys, key)
         if i < len(self._keys) and self._keys[i] == key:
             return self._values[i]
+        self.bloom_false_positives += 1
         return None
 
     def might_contain(self, key: bytes) -> bool:

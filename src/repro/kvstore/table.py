@@ -61,6 +61,10 @@ class KVTable:
         # stay exact without per-increment locking; the executor merges
         # the sinks back into ``_metrics`` in plan order.
         self._thread_metrics = threading.local()
+        #: optional :class:`~repro.obs.storage_stats.StorageTelemetry`
+        #: (per-region scan stats + key-space heat); ``None`` keeps the
+        #: scan path free of telemetry work entirely
+        self.storage_telemetry = None
         #: regions ordered by start key; region 0 starts open
         self.regions: List[Region] = [Region(None, None, flush_threshold)]
         #: optional :class:`~repro.kvstore.faults.FaultInjector`; when
@@ -89,12 +93,26 @@ class KVTable:
     def metrics(self, value: IOMetrics) -> None:
         self._metrics = value
 
-    def bind_thread_metrics(self, sink: IOMetrics) -> None:
-        """Route this thread's counter updates into ``sink``."""
+    @property
+    def telemetry(self):
+        """The storage telemetry sink for the current thread.
+
+        Scan workers bound via :meth:`bind_thread_metrics` get their
+        private spawn; everyone else the table-wide sink (or ``None``
+        when storage telemetry is disabled).
+        """
+        sink = getattr(self._thread_metrics, "telemetry", None)
+        return sink if sink is not None else self.storage_telemetry
+
+    def bind_thread_metrics(self, sink: IOMetrics, telemetry=None) -> None:
+        """Route this thread's counter updates into ``sink`` (and its
+        telemetry into ``telemetry`` when given)."""
         self._thread_metrics.sink = sink
+        self._thread_metrics.telemetry = telemetry
 
     def unbind_thread_metrics(self) -> None:
         self._thread_metrics.sink = None
+        self._thread_metrics.telemetry = None
 
     # ------------------------------------------------------------------
     # Caching
@@ -213,9 +231,15 @@ class KVTable:
     def get(self, key: bytes) -> Optional[bytes]:
         key = bytes(key)
         self.metrics.gets += 1
-        value = self.region_for(key).get(key)
+        region = self.region_for(key)
+        value = region.get(key)
         if value is not None:
             self.metrics.bytes_read += len(key) + len(value)
+        tel = self.telemetry
+        if tel is not None:
+            tel.region_stats(region).gets += 1
+            if tel.heatmap is not None:
+                tel.heatmap.record(key)
         return value
 
     def _regions_overlapping(
@@ -245,14 +269,24 @@ class KVTable:
         structures, so delivery stays exactly-once.
         """
         injector = self.fault_injector
+        tel = self.telemetry
         self.metrics.range_seeks += 1
         for region in self._regions_overlapping(start, stop):
             if injector is not None:
                 injector.on_region_scan_start(self, region)
             self.metrics.regions_visited += 1
+            if tel is not None:
+                region_stats = tel.region_stats(region)
+                region_stats.scans += 1
+                heatmap = tel.heatmap
             for key, value in self._region_rows(region, start, stop):
                 self.metrics.rows_scanned += 1
                 self.metrics.bytes_read += len(key) + len(value)
+                if tel is not None:
+                    region_stats.rows_scanned += 1
+                    region_stats.bytes_read += len(key) + len(value)
+                    if heatmap is not None:
+                        heatmap.record(key)
                 if injector is not None:
                     injector.on_row_scanned(self, region)
                 if row_filter is not None:
@@ -261,6 +295,8 @@ class KVTable:
                         self.metrics.filter_rejections += 1
                         continue
                 self.metrics.rows_returned += 1
+                if tel is not None:
+                    region_stats.rows_returned += 1
                 yield key, value
 
     def _region_rows(

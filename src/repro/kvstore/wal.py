@@ -44,12 +44,21 @@ _CRC = struct.Struct(">I")
 class WriteAheadLog:
     """An append-only mutation log with per-record checksums."""
 
+    #: process-wide WAL telemetry, summed over every log instance —
+    #: absorbed by the metrics registry as ``trass.storage.wal.*``
+    #: (appends that returned, fsync calls issued, record bytes written)
+    totals = {"appends": 0, "fsyncs": 0, "bytes_appended": 0}
+
     def __init__(self, path: str, sync: bool = False, fault_injector=None):
         self.path = path
         self.sync = sync
         self.fault_injector = fault_injector
         self._fh = open(path, "ab")
         self._closed = False
+        #: per-log telemetry (same fields as :attr:`totals`)
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_appended = 0
 
     # ------------------------------------------------------------------
     def append_put(self, key: bytes, value: bytes) -> None:
@@ -76,9 +85,15 @@ class WriteAheadLog:
             os.fsync(self._fh.fileno())
             injector.crash(CRASH_WAL_APPEND_TORN)
         self._fh.write(record)
+        self.appends += 1
+        self.bytes_appended += len(record)
+        totals = WriteAheadLog.totals
+        totals["appends"] += 1
+        totals["bytes_appended"] += len(record)
         if self.sync:
             self._fh.flush()
             os.fsync(self._fh.fileno())
+            self._record_fsync()
         if injector is not None:
             injector.crash_point(CRASH_WAL_APPEND_POST)
 
@@ -93,6 +108,11 @@ class WriteAheadLog:
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
+            self._record_fsync()
+
+    def _record_fsync(self) -> None:
+        self.fsyncs += 1
+        WriteAheadLog.totals["fsyncs"] += 1
 
     # ------------------------------------------------------------------
     def truncate(self) -> None:

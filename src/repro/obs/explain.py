@@ -47,6 +47,9 @@ class ExplainAnalyzeReport:
     filter_stats: Optional[Dict[str, int]] = None
     #: ScanReport summary (None for paths that bypass the executor)
     resilience: Optional[Dict[str, Any]] = None
+    #: per-region scan distribution + read amplification for this query
+    #: (None when storage telemetry is disabled)
+    storage: Optional[Dict[str, Any]] = None
     result: Any = None
 
     # ------------------------------------------------------------------
@@ -111,6 +114,20 @@ class ExplainAnalyzeReport:
                 f"{res['breaker_short_circuits']} breaker rejections, "
                 f"completeness={res['completeness']:.3f}"
             )
+        if self.storage is not None:
+            st = self.storage
+            lines.append(
+                f"storage: read amplification {st['read_amplification']:.2f} "
+                f"({st['rows_scanned']} scanned / {st['rows_returned']} "
+                f"returned) across {len(st['regions'])} region(s)"
+            )
+            for region in st["regions"]:
+                lines.append(
+                    f"  region [{region['start']} .. {region['stop']}) "
+                    f"scanned={region['rows_scanned']} "
+                    f"returned={region['rows_returned']} "
+                    f"share={region['share']:.1%}"
+                )
         lines.append("")
         lines.append(
             format_span_tree(
@@ -139,6 +156,9 @@ class ExplainAnalyzeReport:
             "resilience": (
                 dict(self.resilience) if self.resilience is not None else None
             ),
+            "storage": (
+                dict(self.storage) if self.storage is not None else None
+            ),
             "trace": self.root.to_dict(include_events),
         }
 
@@ -160,6 +180,10 @@ def explain_analyze(
         raise QueryError("provide exactly one of eps (threshold) or k (topk)")
     tracer = engine.make_tracer()
     before = engine.metrics.snapshot()
+    telemetry = engine.storage_telemetry
+    regions_before = (
+        telemetry.region_snapshot() if telemetry is not None else None
+    )
     with engine.traced(tracer):
         if eps is not None:
             result = engine.threshold_search(query, eps, measure=measure)
@@ -197,5 +221,44 @@ def explain_analyze(
         resilience=(
             resilience.summary() if resilience is not None else None
         ),
+        storage=_storage_delta(telemetry, regions_before, io_delta),
         result=result,
     )
+
+
+def _storage_delta(
+    telemetry, regions_before: Optional[Dict[int, Dict[str, Any]]], io_delta
+) -> Optional[Dict[str, Any]]:
+    """This query's per-region scan distribution: the telemetry
+    snapshot delta, plus read amplification from the IOMetrics delta
+    (the two agree by construction — both count logical rows)."""
+    if telemetry is None or regions_before is None:
+        return None
+    scanned = io_delta["rows_scanned"]
+    returned = io_delta["rows_returned"]
+    regions: List[Dict[str, Any]] = []
+    for region_id, after in sorted(telemetry.region_snapshot().items()):
+        prior = regions_before.get(region_id)
+        rows_scanned = after["rows_scanned"] - (
+            prior["rows_scanned"] if prior else 0
+        )
+        rows_returned = after["rows_returned"] - (
+            prior["rows_returned"] if prior else 0
+        )
+        if rows_scanned == 0 and rows_returned == 0:
+            continue
+        regions.append(
+            {
+                "start": after["start"],
+                "stop": after["stop"],
+                "rows_scanned": rows_scanned,
+                "rows_returned": rows_returned,
+                "share": (rows_scanned / scanned) if scanned else 0.0,
+            }
+        )
+    return {
+        "rows_scanned": scanned,
+        "rows_returned": returned,
+        "read_amplification": (scanned / returned) if returned else 0.0,
+        "regions": regions,
+    }

@@ -1,0 +1,313 @@
+"""Key-space heatmap: where scan traffic lands in the salted row-key
+space.
+
+The heatmap buckets every scanned row into a fixed grid of row-key
+ranges computed once from the store's shape (``shards`` salt buckets ×
+``heatmap_buckets_per_shard`` ranges over the XZ* value space).  Heat
+is **keyed by the key space itself, never by regions or SSTables**:
+region splits, flushes and compactions reshuffle the physical layout
+but cannot double-count or orphan a single unit of heat, the same
+generation-safety argument the PR-2 caches make with their
+generation-numbered keys.  Region attribution happens at *read* time,
+by mapping the fixed buckets onto whatever region boundaries currently
+exist.
+
+Heat decays exponentially per recorded query (half-life
+``heat_decay_queries``), so the hot ranges the advisor acts on reflect
+the recent workload, not all history; the undecayed per-bucket row
+counts are kept alongside for lifetime evidence.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: the ASCII intensity ramp used by ``repro heatmap``
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def _key_label(key: Optional[bytes]) -> str:
+    if key is None:
+        return "-inf"
+    return key[:12].hex()
+
+
+def _stop_label(key: Optional[bytes]) -> str:
+    """End-of-range labels: an open stop is plus infinity."""
+    if key is None:
+        return "+inf"
+    return key[:12].hex()
+
+
+def key_space_boundaries(store, buckets_per_shard: int) -> List[bytes]:
+    """Fixed interior bucket boundaries over the salted row-key space.
+
+    One block of ``buckets_per_shard`` equal value ranges per salt
+    byte, expressed as row keys under the store's key encoding.  The
+    list is sorted and deduplicated, so it works for both the integer
+    encoding (where value order is byte order) and the TraSS-S string
+    encoding (where root-block prefixes sort out of value order).
+    """
+    total = store.index.total_index_spaces
+    boundaries = set()
+    for shard in range(store.config.shards):
+        for b in range(buckets_per_shard):
+            value = min(total - 1, b * total // buckets_per_shard)
+            boundaries.add(store.boundary_key(shard, value))
+    return sorted(boundaries)
+
+
+class KeySpaceHeatmap:
+    """Exponentially-decayed scan heat over fixed row-key buckets."""
+
+    def __init__(
+        self,
+        boundaries: Sequence[bytes],
+        half_life: float = 512.0,
+    ):
+        #: sorted interior boundaries; bucket ``i`` covers
+        #: ``[boundaries[i-1], boundaries[i])`` (open at both far ends)
+        self.boundaries: List[bytes] = list(boundaries)
+        #: heat to halve per this many recorded queries (<= 0 disables
+        #: decay)
+        self.half_life = half_life
+        self._decay = (
+            0.5 ** (1.0 / half_life) if half_life > 0 else 1.0
+        )
+        n = len(self.boundaries) + 1
+        #: decayed heat per bucket
+        self.heat: List[float] = [0.0] * n
+        #: undecayed lifetime scanned-row counts per bucket
+        self.rows: List[int] = [0] * n
+        #: recorded queries (decay ticks) so far
+        self.tick = 0
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> "KeySpaceHeatmap":
+        """An empty sink sharing this map's bucket grid.
+
+        Parallel scan workers record into private spawns (no locking on
+        the hot path) which :meth:`merge_from` folds back; merging is
+        elementwise addition, so the merged map is identical to what
+        sequential execution would have recorded.
+        """
+        child = KeySpaceHeatmap.__new__(KeySpaceHeatmap)
+        child.boundaries = self.boundaries  # shared, immutable by use
+        child.half_life = self.half_life
+        child._decay = self._decay
+        n = len(self.boundaries) + 1
+        child.heat = [0.0] * n
+        child.rows = [0] * n
+        child.tick = 0
+        return child
+
+    def merge_from(self, other: "KeySpaceHeatmap") -> None:
+        for i, h in enumerate(other.heat):
+            if h:
+                self.heat[i] += h
+        for i, r in enumerate(other.rows):
+            if r:
+                self.rows[i] += r
+
+    # ------------------------------------------------------------------
+    def record(self, key: bytes, weight: float = 1.0) -> None:
+        """Attribute one scanned row to its key-space bucket."""
+        i = bisect.bisect_right(self.boundaries, key)
+        self.heat[i] += weight
+        self.rows[i] += 1
+
+    def advance_tick(self) -> None:
+        """Decay all heat by one query's worth of half-life."""
+        self.tick += 1
+        if self._decay >= 1.0:
+            return
+        d = self._decay
+        self.heat = [h * d for h in self.heat]
+
+    @property
+    def total_heat(self) -> float:
+        return sum(self.heat)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.rows)
+
+    # ------------------------------------------------------------------
+    # Read-time attribution
+    # ------------------------------------------------------------------
+    def bucket_start(self, i: int) -> Optional[bytes]:
+        return None if i == 0 else self.boundaries[i - 1]
+
+    def bucket_stop(self, i: int) -> Optional[bytes]:
+        return None if i >= len(self.boundaries) else self.boundaries[i]
+
+    def shard_of_bucket(self, i: int) -> int:
+        """The salt byte a bucket's keys start with (bucket 0 → 0)."""
+        start = self.bucket_start(i)
+        return 0 if start is None or not start else start[0]
+
+    def shard_heat(self) -> Dict[int, float]:
+        """Decayed heat per salt bucket — the salt-skew evidence."""
+        out: Dict[int, float] = {}
+        for i, h in enumerate(self.heat):
+            shard = self.shard_of_bucket(i)
+            out[shard] = out.get(shard, 0.0) + h
+        return out
+
+    def region_heat(self, table) -> List[Tuple[Any, float]]:
+        """Decayed heat mapped onto the table's *current* regions.
+
+        Each bucket is attributed to exactly one region — the one that
+        owns its start key — so the mapping conserves heat exactly
+        (``sum == total_heat``) across any sequence of splits and
+        compactions: no bucket is counted twice, none is orphaned on a
+        dead region.
+        """
+        heats = [0.0] * table.num_regions
+        for i, h in enumerate(self.heat):
+            start = self.bucket_start(i)
+            idx = 0 if start is None else table._region_index_for(start)
+            heats[idx] += h
+        return list(zip(table.regions, heats))
+
+    def hot_buckets(
+        self, limit: int = 8, min_share: float = 0.01
+    ) -> List[Tuple[int, float]]:
+        """``(bucket index, heat)`` of the hottest buckets, hot first."""
+        total = self.total_heat
+        if total <= 0:
+            return []
+        ranked = sorted(
+            ((i, h) for i, h in enumerate(self.heat) if h / total >= min_share),
+            key=lambda pair: -pair[1],
+        )
+        return ranked[:limit]
+
+    # ------------------------------------------------------------------
+    # Persistence / export
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "half_life": self.half_life,
+            "tick": self.tick,
+            "boundaries": [b.hex() for b in self.boundaries],
+            "heat": list(self.heat),
+            "rows": list(self.rows),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "KeySpaceHeatmap":
+        heatmap = cls(
+            [bytes.fromhex(b) for b in data["boundaries"]],
+            half_life=float(data.get("half_life", 512.0)),
+        )
+        heat = [float(h) for h in data.get("heat", [])]
+        rows = [int(r) for r in data.get("rows", [])]
+        if len(heat) == len(heatmap.heat):
+            heatmap.heat = heat
+        if len(rows) == len(heatmap.rows):
+            heatmap.rows = rows
+        heatmap.tick = int(data.get("tick", 0))
+        return heatmap
+
+    def restore_from(self, other: "KeySpaceHeatmap") -> bool:
+        """Adopt a persisted map's state if the grids are compatible.
+
+        Returns False (and keeps the fresh empty state) when the
+        persisted boundaries do not match — e.g. the store was rebuilt
+        with a different shard count or bucket resolution.
+        """
+        if other.boundaries != self.boundaries:
+            return False
+        self.heat = list(other.heat)
+        self.rows = list(other.rows)
+        self.tick = other.tick
+        return True
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_heatmap(heatmap: KeySpaceHeatmap, table, shards: int) -> str:
+    """ASCII heatmap: one row per salt bucket, one cell per key bucket,
+    plus the hot-bucket and per-region heat tables the advisor reads."""
+    lines: List[str] = []
+    lines.append(
+        f"key-space heatmap: {len(heatmap.heat)} buckets, "
+        f"{heatmap.total_rows} rows recorded, decayed heat "
+        f"{heatmap.total_heat:.1f} (tick {heatmap.tick}, "
+        f"half-life {heatmap.half_life:g} queries)"
+    )
+    per_shard: Dict[int, List[float]] = {s: [] for s in range(shards)}
+    for i, h in enumerate(heatmap.heat):
+        shard = heatmap.shard_of_bucket(i)
+        per_shard.setdefault(shard, []).append(h)
+    peak = max(heatmap.heat) if heatmap.heat else 0.0
+    for shard in sorted(per_shard):
+        cells = per_shard[shard]
+        if peak > 0:
+            row = "".join(
+                HEAT_RAMP[
+                    min(len(HEAT_RAMP) - 1, int(h / peak * (len(HEAT_RAMP) - 1)))
+                ]
+                for h in cells
+            )
+        else:
+            row = " " * len(cells)
+        lines.append(f"  shard {shard:3d} |{row}|")
+    hot = heatmap.hot_buckets()
+    if hot:
+        lines.append("hot buckets:")
+        total = heatmap.total_heat
+        for i, h in hot:
+            lines.append(
+                f"  [{_key_label(heatmap.bucket_start(i))} .. "
+                f"{_stop_label(heatmap.bucket_stop(i))}) "
+                f"heat {h:.1f} ({h / total:.1%})"
+            )
+    region_heats = heatmap.region_heat(table)
+    total = heatmap.total_heat
+    if total > 0:
+        lines.append("per-region heat (current boundaries):")
+        for region, h in region_heats:
+            lines.append(
+                f"  region [{_key_label(region.start_key)} .. "
+                f"{_stop_label(region.end_key)}) rows={region.row_count} "
+                f"heat {h:.1f} ({h / total:.1%})"
+            )
+    return "\n".join(lines)
+
+
+def heatmap_json(heatmap: KeySpaceHeatmap, table) -> Dict[str, Any]:
+    """The ``repro heatmap --json`` payload."""
+    total = heatmap.total_heat
+    return {
+        "tick": heatmap.tick,
+        "half_life": heatmap.half_life,
+        "total_heat": total,
+        "total_rows": heatmap.total_rows,
+        "buckets": [
+            {
+                "start": _key_label(heatmap.bucket_start(i)),
+                "stop": _stop_label(heatmap.bucket_stop(i)),
+                "shard": heatmap.shard_of_bucket(i),
+                "heat": h,
+                "rows": heatmap.rows[i],
+            }
+            for i, h in enumerate(heatmap.heat)
+        ],
+        "shard_heat": {
+            str(s): h for s, h in sorted(heatmap.shard_heat().items())
+        },
+        "regions": [
+            {
+                "start": _key_label(region.start_key),
+                "stop": _stop_label(region.end_key),
+                "rows": region.row_count,
+                "heat": h,
+                "share": (h / total) if total > 0 else 0.0,
+            }
+            for region, h in heatmap.region_heat(table)
+        ],
+    }

@@ -119,6 +119,22 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def set_state(
+        self, counts: Sequence[int], sum_: float, count: int
+    ) -> None:
+        """Overwrite with externally accumulated state (read-model
+        absorption of a :class:`~repro.kvstore.metrics.FixedBucketCounts`
+        that already keeps the running distribution — overwrite, not
+        observe, so repeated refreshes cannot double-count)."""
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name} has {len(self.counts)} slots, "
+                f"got {len(counts)}"
+            )
+        self.counts = [int(c) for c in counts]
+        self.sum = float(sum_)
+        self.count = int(count)
+
     def cumulative_counts(self) -> List[int]:
         out: List[int] = []
         running = 0
@@ -295,6 +311,10 @@ def update_registry_from_engine(registry: MetricsRegistry, engine) -> None:
     registry.gauge(
         "trass.slowlog.entries", "entries in the slow-query ring buffer"
     ).set(len(engine.slow_query_log))
+
+    from repro.obs.storage_stats import update_storage_registry
+
+    update_storage_registry(registry, engine)
 
 
 _PROM_LINE_RE = re.compile(
