@@ -1,0 +1,174 @@
+"""Vectorised filtering and multi-query batch execution.
+
+Measures a 32-query threshold workload on one store across execution
+modes (knobs re-tuned in place, so data / index / plans are constant):
+
+* ``seed``:            sequential, scalar filter, caches off;
+* ``scalar-warm``:     sequential, scalar filter, caches warm;
+* ``vector-warm``:     sequential, vectorised filter, caches warm;
+* ``batch-N``:         the workload split into batches of N queries
+                       (``threshold_search_many``), vectorised, warm —
+                       the batch-size sweep;
+* ``batch-scalar``:    full batch with the scalar filter, isolating
+                       scan sharing from vectorisation.
+
+Every mode re-checks that answers are identical to the seed mode (both
+layers are pure optimisations).  A JSON report is printed and, when
+``REPRO_BENCH_JSON`` names a file, appended there.
+
+Acceptance gate: the warm vectorised 32-query batch reaches >= 1.5x the
+seed sequential-scalar throughput, and shares rows (strictly fewer
+rows scanned than sequential execution).
+"""
+
+import json
+import os
+import time
+
+from repro.bench.reporting import print_table
+from repro.data.workload import sample_queries
+
+EPS = 0.01
+BATCH_SIZES = (1, 8, 32)
+NUM_BATCH_QUERIES = 32
+
+
+def _answers_of(results):
+    return [sorted(r.answers.items()) for r in results]
+
+
+def _run_sequential(engine, queries):
+    started = time.perf_counter()
+    results = [engine.threshold_search(q, EPS) for q in queries]
+    return time.perf_counter() - started, _answers_of(results)
+
+
+def _run_batched(engine, queries, batch_size):
+    started = time.perf_counter()
+    results = []
+    for i in range(0, len(queries), batch_size):
+        results.extend(
+            engine.threshold_search_many(queries[i : i + batch_size], EPS)
+        )
+    return time.perf_counter() - started, _answers_of(results)
+
+
+def test_batch_query_throughput(tdrive_engine, tdrive_data):
+    engine = tdrive_engine
+    queries = sample_queries(tdrive_data, NUM_BATCH_QUERIES, seed=331)
+    report = {"batch": []}
+    rows = []
+    baseline = {}
+
+    def record(label, seconds, answers, vectorized, batch_size, snap):
+        if not baseline:
+            baseline["answers"] = answers
+            baseline["seconds"] = seconds
+        else:
+            # Both layers are pure optimisations: answers are exact.
+            assert answers == baseline["answers"], label
+        speedup = baseline["seconds"] / seconds
+        qps = len(queries) / seconds
+        rows.append(
+            [label, batch_size or "-", vectorized, seconds * 1000, qps, speedup]
+        )
+        report["batch"].append(
+            {
+                "label": label,
+                "batch_size": batch_size,
+                "vectorized": vectorized,
+                "seconds": seconds,
+                "queries_per_second": qps,
+                "speedup_vs_seed": speedup,
+                "rows_scanned": snap["rows_scanned"],
+                "batch_ranges_merged": snap["batch_ranges_merged"],
+                "batch_rows_shared": snap["batch_rows_shared"],
+                "columnar_cache_hits": snap["columnar_cache_hits"],
+            }
+        )
+        return report["batch"][-1]
+
+    try:
+        # -- seed: sequential, scalar, cold caches ----------------------
+        engine.configure_execution(
+            scan_workers=1, cache_mb=0.0, plan_cache_size=0,
+            vectorized_filter=False,
+        )
+        engine.metrics.reset()
+        seconds, answers = _run_sequential(engine, queries)
+        seed = record(
+            "seed", seconds, answers, False, None, engine.metrics.snapshot()
+        )
+
+        # -- sequential ablation: scalar vs vectorised, warm ------------
+        for label, vectorized in (
+            ("scalar-warm", False),
+            ("vector-warm", True),
+        ):
+            engine.configure_execution(
+                cache_mb=64.0, plan_cache_size=128,
+                vectorized_filter=vectorized,
+            )
+            _run_sequential(engine, queries)  # warm pass
+            engine.metrics.reset()
+            seconds, answers = _run_sequential(engine, queries)
+            record(
+                label, seconds, answers, vectorized, None,
+                engine.metrics.snapshot(),
+            )
+
+        # -- batch-size sweep (vectorised, warm) ------------------------
+        for batch_size in BATCH_SIZES:
+            _run_batched(engine, queries, batch_size)  # warm pass
+            engine.metrics.reset()
+            seconds, answers = _run_batched(engine, queries, batch_size)
+            record(
+                f"batch-{batch_size}", seconds, answers, True, batch_size,
+                engine.metrics.snapshot(),
+            )
+
+        # -- full batch with the scalar filter --------------------------
+        engine.configure_execution(vectorized_filter=False)
+        _run_batched(engine, queries, NUM_BATCH_QUERIES)  # warm pass
+        engine.metrics.reset()
+        seconds, answers = _run_batched(engine, queries, NUM_BATCH_QUERIES)
+        record(
+            "batch-scalar", seconds, answers, False, NUM_BATCH_QUERIES,
+            engine.metrics.snapshot(),
+        )
+
+        print_table(
+            ["mode", "batch", "vectorized", "total ms", "q/s", "speedup"],
+            rows,
+            f"Batch query execution ({len(queries)} threshold queries, "
+            f"eps={EPS:g})",
+        )
+
+        full_batch = next(
+            c for c in report["batch"] if c["label"] == f"batch-{NUM_BATCH_QUERIES}"
+        )
+        # Scan sharing must actually share: fewer rows than sequential.
+        assert full_batch["batch_rows_shared"] > 0
+        assert full_batch["batch_ranges_merged"] > 0
+        assert full_batch["rows_scanned"] < seed["rows_scanned"]
+        # Acceptance gate: warm vectorised batch >= 1.5x seed throughput.
+        assert full_batch["speedup_vs_seed"] >= 1.5, (
+            "warm vectorised 32-query batch must be >= 1.5x sequential "
+            f"scalar execution, got {full_batch['speedup_vs_seed']:.2f}x"
+        )
+    finally:
+        engine.configure_execution(
+            scan_workers=1, cache_mb=0.0, plan_cache_size=128,
+            vectorized_filter=False,
+        )
+
+    _emit_json(report)
+
+
+def _emit_json(report: dict) -> None:
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print(payload)
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path:
+        with open(path, "a") as fh:
+            fh.write(payload + "\n")

@@ -97,3 +97,62 @@ def test_measured_io_reduction_vs_xz2(
         rounds=3,
         iterations=1,
     )
+
+
+def test_range_merge_gap_reduces_seeks(
+    benchmark, tdrive_engine, tdrive_queries
+):
+    """Scan-count drop from coalescing near-adjacent key ranges.
+
+    Sweeping ``range_merge_gap`` (the planner bridges value gaps up to
+    the setting, trading a few extra scanned rows for fewer range
+    seeks) on the same engine: the pruner's gap knob is swapped in
+    place — the plan cache keys on it, so plans never leak between gap
+    settings — and every setting must return the seed answers.
+    """
+    engine = tdrive_engine
+    pruner = engine.pruner
+    original_gap = pruner.range_merge_gap
+    rows = []
+    baseline = {}
+    try:
+        for gap in (0, 2, 8, 32):
+            pruner.range_merge_gap = gap
+            engine.metrics.reset()
+            answers = []
+            for query in tdrive_queries:
+                result = engine.threshold_search(query, EPS)
+                answers.append(sorted(result.answers.items()))
+            snap = engine.metrics.snapshot()
+            if not baseline:
+                baseline["answers"] = answers
+                baseline["seeks"] = snap["range_seeks"]
+            else:
+                # Gap merging trades rows for seeks; answers are exact.
+                assert answers == baseline["answers"], f"gap={gap}"
+            rows.append(
+                [
+                    gap,
+                    snap["range_seeks"],
+                    snap["ranges_merged"],
+                    snap["rows_scanned"],
+                ]
+            )
+    finally:
+        pruner.range_merge_gap = original_gap
+    print_table(
+        ["range_merge_gap", "range seeks", "ranges merged", "rows scanned"],
+        rows,
+        f"Range-gap coalescing: seeks vs over-scan (eps={EPS})",
+    )
+    # A positive gap must merge ranges and cut seeks; gap 0 merges none.
+    assert rows[0][2] == 0
+    assert rows[-1][2] > 0
+    assert rows[-1][1] < baseline["seeks"]
+
+    query = tdrive_queries[0]
+    benchmark.pedantic(
+        lambda: tdrive_engine.threshold_search(query, EPS),
+        rounds=3,
+        iterations=1,
+    )

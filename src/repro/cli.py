@@ -7,6 +7,8 @@ Build a persistent TraSS store from a trajectory CSV and query it::
     python -m repro.cli info   --store ./store
     python -m repro.cli threshold --store ./store --query-tid taxi42 --eps 0.01
     python -m repro.cli topk      --store ./store --query-tid taxi42 --k 10
+    python -m repro.cli query     --store ./store --queries-csv queries.csv \\
+        --eps 0.01 --batch --vectorized-filter
     python -m repro.cli range     --store ./store --window 116.0 39.6 116.5 40.0
     python -m repro.cli explain   --store ./store --query-tid taxi42 --eps 0.01
     python -m repro.cli explain   --store ./store --query-tid taxi42 \\
@@ -75,6 +77,7 @@ def _load_engine(args: argparse.Namespace) -> TraSS:
     engine.configure_execution(
         scan_workers=getattr(args, "scan_workers", None),
         cache_mb=getattr(args, "cache_mb", None),
+        vectorized_filter=getattr(args, "vectorized_filter", None),
     )
     return engine
 
@@ -135,6 +138,62 @@ def _topk(args: argparse.Namespace) -> int:
     print(
         f"# {result.candidates} candidates, {result.retrieved_rows} rows "
         f"scanned, {result.total_seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    """Run a workload of threshold queries, optionally as one batch.
+
+    ``--batch`` plans every query up front, coalesces the per-query key
+    ranges into one deduplicated scan and demultiplexes each scanned
+    row to the queries that asked for it; answers are identical to the
+    sequential mode, only the I/O shrinks (reported on stderr).
+    """
+    engine = _load_engine(args)
+    if args.queries_csv:
+        queries = load_csv(args.queries_csv)
+    else:
+        if not args.query_tid:
+            raise ReproError("provide --query-tid (repeatable) or --queries-csv")
+        wanted = set(args.query_tid)
+        by_tid = {}
+        for record in engine.store.all_records():
+            if record.tid in wanted:
+                by_tid[record.tid] = record.as_trajectory()
+        missing = wanted - set(by_tid)
+        if missing:
+            raise ReproError(f"trajectories not in the store: {sorted(missing)}")
+        queries = [by_tid[tid] for tid in args.query_tid]
+    if not queries:
+        raise ReproError("no queries to run")
+
+    before = engine.metrics.snapshot()
+    started = time.perf_counter()
+    if args.batch:
+        results = engine.threshold_search_many(
+            queries, args.eps, measure=args.measure
+        )
+    else:
+        results = [
+            engine.threshold_search(q, args.eps, measure=args.measure)
+            for q in queries
+        ]
+    wall = time.perf_counter() - started
+    delta = engine.metrics.diff(before)
+
+    for query, result in zip(queries, results):
+        for tid, dist in sorted(result.answers.items(), key=lambda kv: kv[1]):
+            print(f"{query.tid}\t{tid}\t{dist:.6f}")
+    print(
+        f"# {len(queries)} queries ({'batch' if args.batch else 'sequential'}"
+        f"{', vectorized' if engine.config.vectorized_filter else ''}), "
+        f"{sum(len(r.answers) for r in results)} answers, "
+        f"{delta['rows_scanned']} rows scanned, "
+        f"{delta['batch_ranges_merged']} ranges merged, "
+        f"{delta['batch_rows_shared']} row deliveries shared, "
+        f"{wall * 1000:.1f} ms",
         file=sys.stderr,
     )
     return 0
@@ -583,6 +642,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="scan-block + decoded-record cache budget in MiB "
             "(overrides the stored config; 0 disables)",
         )
+        p.add_argument(
+            "--vectorized-filter",
+            action="store_true",
+            default=None,
+            help="evaluate the local-filter lemmas over whole candidate "
+            "batches with numpy (overrides the stored config; answers "
+            "are identical either way)",
+        )
 
     def add_query_args(p):
         p.add_argument("--store", required=True)
@@ -602,6 +669,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_query_args(topk)
     topk.add_argument("--k", type=int, required=True)
     topk.set_defaults(func=_topk)
+
+    query = sub.add_parser(
+        "query",
+        help="run a threshold-query workload; --batch shares one "
+        "deduplicated scan across all queries",
+    )
+    query.add_argument("--store", required=True)
+    query.add_argument(
+        "--query-tid",
+        action="append",
+        help="stored trajectory id to query with (repeatable)",
+    )
+    query.add_argument(
+        "--queries-csv",
+        help="CSV holding the query trajectories (tid,x,y rows)",
+    )
+    query.add_argument("--eps", type=float, required=True)
+    query.add_argument("--measure", default=None, choices=available_measures())
+    query.add_argument(
+        "--batch",
+        action="store_true",
+        help="coalesce all query plans into one shared scan "
+        "(identical answers, fewer rows scanned)",
+    )
+    add_perf_args(query)
+    query.set_defaults(func=_query)
 
     def add_trace_args(p):
         p.add_argument("--eps", type=float, default=None)

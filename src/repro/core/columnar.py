@@ -1,0 +1,247 @@
+"""Columnar candidate decoding for the vectorised filter path.
+
+``decode_row`` materialises a scanned row as Python objects — tuples of
+point tuples plus :class:`~repro.geometry.segment.OrientedBox`
+instances — which is exactly the right shape for the scalar lemma
+checks and exactly the wrong shape for numpy.  This module decodes the
+same blob (layout in :mod:`repro.core.codec`) straight into packed
+float64 arrays:
+
+* :class:`ColumnarRecord` — one row: points ``(n, 2)``, DP
+  representative points, covering boxes as ``(b, 8)`` parameter rows
+  with their axis-aligned envelopes, and the point MBR.  The classic
+  :class:`~repro.core.storage.TrajectoryRecord` view (and its
+  :class:`~repro.features.dp_features.DPFeatures`) is derived lazily
+  and cached, so refinement and the scalar Lemma 14 fallback reuse the
+  columnar decode instead of decoding the blob a second time;
+* :class:`CandidateBatch` — a scan chunk's records concatenated into
+  ragged arrays (values plus per-record offsets/counts), the input the
+  vectorised lemma kernels broadcast over.
+
+Numeric parity: every float comes from the same big-endian bytes the
+scalar decoder reads, envelopes replay ``box.mbr()``'s corner
+arithmetic, and the MBR is the min/max of the same point set — so the
+two decoders produce bit-identical geometry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.codec import (
+    BOX_FIELDS,
+    COUNT_DTYPE,
+    FLOAT_DTYPE,
+    REP_INDEX_DTYPE,
+    TID_LEN_DTYPE,
+)
+from repro.exceptions import KVStoreError
+from repro.features.dp_features import DPFeatures, oriented_box_envelopes
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.geometry.segment import OrientedBox
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.storage import TrajectoryRecord
+
+
+class ColumnarRecord:
+    """One decoded row as packed numpy arrays.
+
+    ``points`` is ``(n, 2)`` float64, ``rep_points`` the gathered
+    representative points, ``box_params`` the ``(b, 8)`` codec-order
+    box parameters with ``box_envelopes`` ``(b, 4)`` alongside, and
+    ``mbr_arr`` the 4-vector ``(min_x, min_y, max_x, max_y)``.
+    ``features`` / ``as_record()`` build the scalar views once and keep
+    them, so a cached ColumnarRecord never re-decodes or re-derives.
+    """
+
+    __slots__ = (
+        "tid",
+        "points",
+        "rep_indexes",
+        "rep_points",
+        "box_params",
+        "box_envelopes",
+        "mbr_arr",
+        "_features",
+        "_record",
+    )
+
+    def __init__(
+        self,
+        tid: str,
+        points: np.ndarray,
+        rep_indexes: np.ndarray,
+        box_params: np.ndarray,
+    ):
+        self.tid = tid
+        self.points = points
+        self.rep_indexes = rep_indexes
+        self.rep_points = points[rep_indexes]
+        self.box_params = box_params
+        self.box_envelopes = oriented_box_envelopes(box_params)
+        self.mbr_arr = np.concatenate([points.min(axis=0), points.max(axis=0)])
+        self._features: Optional[DPFeatures] = None
+        self._record = None
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def features(self) -> DPFeatures:
+        """The scalar :class:`DPFeatures` view (built once, cached)."""
+        feats = self._features
+        if feats is None:
+            boxes = tuple(
+                OrientedBox(
+                    Point(float(p[0]), float(p[1])),
+                    (float(p[2]), float(p[3])),
+                    float(p[4]),
+                    float(p[5]),
+                    float(p[6]),
+                    float(p[7]),
+                )
+                for p in self.box_params
+            )
+            feats = DPFeatures(
+                rep_indexes=tuple(int(i) for i in self.rep_indexes),
+                rep_points=tuple(
+                    (float(x), float(y)) for x, y in self.rep_points
+                ),
+                boxes=boxes,
+                mbr=MBR(
+                    float(self.mbr_arr[0]),
+                    float(self.mbr_arr[1]),
+                    float(self.mbr_arr[2]),
+                    float(self.mbr_arr[3]),
+                ),
+            )
+            self._features = feats
+        return feats
+
+    def as_record(self) -> "TrajectoryRecord":
+        """A :class:`TrajectoryRecord` over the columnar arrays.
+
+        The points stay the decoded ``(n, 2)`` array — the measure
+        kernels read coordinates positionally, so refinement produces
+        the same float64s as the tuple-of-tuples form.
+        """
+        rec = self._record
+        if rec is None:
+            from repro.core.storage import TrajectoryRecord
+
+            rec = TrajectoryRecord(self.tid, self.points, self.features, -1)
+            self._record = rec
+        return rec
+
+
+def decode_row_columnar(data: bytes) -> ColumnarRecord:
+    """Decode one row value straight into a :class:`ColumnarRecord`.
+
+    Reads the same layout as :func:`repro.core.codec.decode_row` with
+    ``np.frombuffer`` instead of ``struct`` — including the trailing-
+    bytes corruption check.
+    """
+    try:
+        n_points = int(np.frombuffer(data, COUNT_DTYPE, 1, 0)[0])
+        offset = 4
+        points = (
+            np.frombuffer(data, FLOAT_DTYPE, 2 * n_points, offset)
+            .reshape(n_points, 2)
+            .astype(np.float64)
+        )
+        offset += 16 * n_points
+        n_rep = int(np.frombuffer(data, COUNT_DTYPE, 1, offset)[0])
+        offset += 4
+        rep_indexes = np.frombuffer(
+            data, REP_INDEX_DTYPE, n_rep, offset
+        ).astype(np.int64)
+        offset += 4 * n_rep
+        n_boxes = int(np.frombuffer(data, COUNT_DTYPE, 1, offset)[0])
+        offset += 4
+        box_params = (
+            np.frombuffer(data, FLOAT_DTYPE, BOX_FIELDS * n_boxes, offset)
+            .reshape(n_boxes, BOX_FIELDS)
+            .astype(np.float64)
+        )
+        offset += 8 * BOX_FIELDS * n_boxes
+        tid_len = int(np.frombuffer(data, TID_LEN_DTYPE, 1, offset)[0])
+        offset += 2
+        tid = bytes(data[offset : offset + tid_len]).decode("utf-8")
+        offset += tid_len
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise KVStoreError(f"corrupt trajectory row: {exc}") from exc
+    if n_points == 0:
+        raise KVStoreError("corrupt trajectory row: zero points")
+    if offset != len(data):
+        raise KVStoreError(
+            f"trailing bytes in trajectory row ({len(data) - offset})"
+        )
+    if n_rep and (rep_indexes.min() < 0 or rep_indexes.max() >= n_points):
+        raise KVStoreError("corrupt trajectory row: rep index out of range")
+    return ColumnarRecord(tid, points, rep_indexes, box_params)
+
+
+class CandidateBatch:
+    """A chunk of :class:`ColumnarRecord` concatenated for broadcasting.
+
+    Fixed-width per-record values (start/end points, MBRs) are stacked
+    into ``(n, ...)`` arrays; the ragged ones (representative points,
+    boxes) are concatenated with per-record offsets/counts plus a
+    record-id column (``rep_cand_ids``) so kernels can scatter
+    per-element verdicts back to records with ``bincount``.
+    """
+
+    __slots__ = (
+        "records",
+        "size",
+        "starts",
+        "ends",
+        "mbrs",
+        "rep_points",
+        "rep_counts",
+        "rep_cand_ids",
+        "box_params",
+        "box_envelopes",
+        "box_counts",
+        "box_offsets",
+    )
+
+    def __init__(self, records: Sequence[ColumnarRecord]):
+        self.records: List[ColumnarRecord] = list(records)
+        n = self.size = len(self.records)
+        self.starts = np.empty((n, 2), dtype=np.float64)
+        self.ends = np.empty((n, 2), dtype=np.float64)
+        self.mbrs = np.empty((n, 4), dtype=np.float64)
+        for i, rec in enumerate(self.records):
+            self.starts[i] = rec.points[0]
+            self.ends[i] = rec.points[-1]
+            self.mbrs[i] = rec.mbr_arr
+        self.rep_counts = np.fromiter(
+            (len(r.rep_points) for r in self.records), dtype=np.int64, count=n
+        )
+        self.box_counts = np.fromiter(
+            (len(r.box_params) for r in self.records), dtype=np.int64, count=n
+        )
+        self.box_offsets = np.concatenate(
+            ([0], np.cumsum(self.box_counts)[:-1])
+        ) if n else np.zeros(0, dtype=np.int64)
+        self.rep_cand_ids = np.repeat(np.arange(n), self.rep_counts)
+        if n:
+            self.rep_points = np.concatenate(
+                [r.rep_points for r in self.records]
+            )
+            self.box_params = np.concatenate(
+                [r.box_params for r in self.records]
+            )
+            self.box_envelopes = np.concatenate(
+                [r.box_envelopes for r in self.records]
+            )
+        else:
+            self.rep_points = np.empty((0, 2), dtype=np.float64)
+            self.box_params = np.empty((0, BOX_FIELDS), dtype=np.float64)
+            self.box_envelopes = np.empty((0, 4), dtype=np.float64)

@@ -71,6 +71,11 @@ class TraSSConfig:
     #: pruning-plan cache entries (0 = disabled); plans depend only on
     #: (query points, eps, index geometry), so caching is always sound
     plan_cache_size: int = 128
+    #: evaluate the local-filter lemmas (5, 12, 13-14) over whole
+    #: candidate batches with numpy instead of one record at a time;
+    #: the scalar path stays the reference implementation and both make
+    #: identical accept/reject decisions (pinned by a property test)
+    vectorized_filter: bool = False
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
@@ -104,6 +109,11 @@ class TraSSConfig:
         if self.box_mode not in ("chord", "min_area"):
             raise QueryError(
                 f"box_mode must be 'chord' or 'min_area', got {self.box_mode!r}"
+            )
+        if self.range_merge_gap < 0:
+            raise QueryError(
+                f"range_merge_gap must be non-negative, got "
+                f"{self.range_merge_gap}"
             )
         if self.max_planned_elements < 16:
             raise QueryError(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import TraSSConfig
 from repro.core.pruning import GlobalPruner, PruningResult
@@ -51,6 +51,7 @@ class TraSS:
             self.config.max_planned_elements,
             plan_cache_size=self.config.plan_cache_size,
             metrics=self.store.metrics,
+            range_merge_gap=self.config.range_merge_gap,
         )
         self.measure: Measure = self.config.make_measure()
         self._init_observability()
@@ -117,11 +118,15 @@ class TraSS:
         scan_workers: Optional[int] = None,
         cache_mb: Optional[float] = None,
         plan_cache_size: Optional[int] = None,
+        vectorized_filter: Optional[bool] = None,
     ) -> None:
-        """Re-tune scan workers / cache tiers without rebuilding the
-        store (``None`` keeps a knob as configured).  Used by the CLI's
-        ``--scan-workers`` / ``--cache-mb`` overrides."""
-        self.store.configure_execution(scan_workers, cache_mb, plan_cache_size)
+        """Re-tune scan workers / cache tiers / filter mode without
+        rebuilding the store (``None`` keeps a knob as configured).
+        Used by the CLI's ``--scan-workers`` / ``--cache-mb`` /
+        ``--vectorized-filter`` overrides."""
+        self.store.configure_execution(
+            scan_workers, cache_mb, plan_cache_size, vectorized_filter
+        )
         self.config = self.store.config
         # The store rebuilt its executor; keep the active tracer wired.
         self.store.executor.tracer = self._tracer
@@ -379,6 +384,97 @@ class TraSS:
         return result
 
     # ------------------------------------------------------------------
+    # Batched queries (shared-scan execution)
+    # ------------------------------------------------------------------
+    def threshold_search_many(
+        self,
+        queries: Sequence[Trajectory],
+        eps,
+        measure: Optional[str] = None,
+    ) -> List[ThresholdSearchResult]:
+        """Answer many threshold queries over one deduplicated scan.
+
+        ``eps`` is a single threshold for the whole batch or a sequence
+        aligned with ``queries``.  The per-query ranges are planned up
+        front, coalesced (overlapping or touching byte ranges merge, so
+        a shared key region is scanned once), and every scanned row is
+        demultiplexed to the queries whose plan covers it.  Results are
+        positionally aligned and bit-identical to calling
+        :meth:`threshold_search` per query; only the I/O differs —
+        ``metrics.batch_ranges_merged`` / ``batch_rows_shared`` say by
+        how much.
+
+        Batched queries skip the workload recorder: per-query I/O
+        deltas are meaningless under a shared scan.
+        """
+        queries = list(queries)
+        try:
+            eps_list = [float(e) for e in eps]
+        except TypeError:
+            eps_list = [float(eps)] * len(queries)
+        if len(eps_list) != len(queries):
+            raise QueryError(
+                f"got {len(queries)} queries but {len(eps_list)} thresholds"
+            )
+        resolved = self._resolve_measure(measure)
+        tracer = self._tracer
+        started = time.perf_counter()
+        with tracer.span(
+            "query.threshold_batch",
+            queries=len(queries),
+            measure=resolved.name,
+        ) as root:
+            if not resolved.supports_point_lower_bound:
+                # No index pruning, hence no range plans to share.
+                results = [
+                    self._full_scan_threshold(q, e, resolved)
+                    for q, e in zip(queries, eps_list)
+                ]
+            else:
+                from repro.core.batch import threshold_search_many
+
+                results = threshold_search_many(
+                    self.store,
+                    self.pruner,
+                    resolved,
+                    queries,
+                    eps_list,
+                    tracer,
+                )
+            root.set_attrs(
+                answers=sum(len(r.answers) for r in results),
+                candidates=sum(r.candidates for r in results),
+            )
+        elapsed = time.perf_counter() - started
+        per_query = elapsed / len(queries) if queries else 0.0
+        for query, eps_value, result in zip(queries, eps_list, results):
+            self._observe_query(
+                "threshold",
+                query,
+                eps_value,
+                per_query,
+                result,
+                measure=resolved.name,
+                io_before=None,
+            )
+        return results
+
+    def topk_search_many(
+        self,
+        queries: Sequence[Trajectory],
+        k: int,
+        measure: Optional[str] = None,
+    ) -> List[TopKSearchResult]:
+        """Answer many top-k queries; results align with ``queries``.
+
+        Top-k plans adaptively (each answer tightens the working
+        threshold), so there is no up-front range set to share — this
+        runs the queries one at a time and exists so batch callers can
+        stay mode-agnostic.
+        """
+        return [self.topk_search(q, k, measure=measure) for q in queries]
+
+    # ------------------------------------------------------------------
     # Fallbacks for non-prunable measures (Section IX future work)
     # ------------------------------------------------------------------
     def _full_scan_threshold(
@@ -527,6 +623,7 @@ class TraSS:
             store.config.max_planned_elements,
             plan_cache_size=store.config.plan_cache_size,
             metrics=store.metrics,
+            range_merge_gap=store.config.range_merge_gap,
         )
         engine.measure = store.config.make_measure()
         engine._init_observability()

@@ -424,15 +424,40 @@ class ResilientExecutor:
         rows: List[Tuple[bytes, bytes]] = []
 
         def consume(scan_range: ScanRange) -> None:
-            chunk = list(
-                self.table.scan(scan_range.start, scan_range.stop, row_filter)
-            )
+            chunk = self.scan_chunk(scan_range, row_filter)
             rows.extend(chunk)
             if on_range_rows is not None and chunk:
                 on_range_rows(chunk, row_filter)
 
         report = self.execute(ranges, consume, report)
         return rows, report
+
+    def scan_chunk(
+        self, scan_range: ScanRange, row_filter=None
+    ) -> List[Tuple[bytes, bytes]]:
+        """One range's surviving rows, honouring batch row filters.
+
+        A filter marked ``batch = True`` (the vectorised local filter)
+        cannot ride the per-row pushdown protocol: the range is scanned
+        unfiltered, the whole chunk goes through ``accept_batch``, and
+        the table counters are restored to exactly what the pushdown
+        path would have recorded — every scanned row counts one filter
+        evaluation, rejected rows count rejections and never count as
+        returned.  ``rows_scanned`` / ``bytes_read`` are unaffected
+        (the same rows were read either way).
+        """
+        if row_filter is None or not getattr(row_filter, "batch", False):
+            return list(
+                self.table.scan(scan_range.start, scan_range.stop, row_filter)
+            )
+        raw = list(self.table.scan(scan_range.start, scan_range.stop, None))
+        kept = row_filter.accept_batch(raw)
+        metrics = self.table.metrics
+        rejected = len(raw) - len(kept)
+        metrics.filter_evaluations += len(raw)
+        metrics.filter_rejections += rejected
+        metrics.rows_returned -= rejected
+        return kept
 
     # ------------------------------------------------------------------
     def _breaker_rejects(self, scan_range: ScanRange) -> bool:
@@ -592,9 +617,7 @@ class ParallelScanExecutor(ResilientExecutor):
                     chunk: List[Tuple[bytes, bytes]] = []
 
                     def consume(r: ScanRange, _chunk=chunk) -> None:
-                        _chunk[:] = self.table.scan(
-                            r.start, r.stop, worker_filter
-                        )
+                        _chunk[:] = self.scan_chunk(r, worker_filter)
 
                     try:
                         self._execute_one(

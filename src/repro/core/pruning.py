@@ -88,9 +88,14 @@ class GlobalPruner:
         use_position_codes: bool = True,
         plan_cache_size: int = 0,
         metrics=None,
+        range_merge_gap: int = 0,
     ):
         self.index = index
         self.max_planned_elements = max_planned_elements
+        # Coalesce scan ranges separated by at most this many index
+        # values.  Bridged values are a sound superset (extra rows die
+        # in local filtering); the payoff is fewer range seeks.
+        self.range_merge_gap = range_merge_gap
         # Plan cache: a pruning plan is a pure function of the query's
         # points, the threshold and the index geometry — nothing about
         # the stored data enters Algorithm 1 — so cached plans stay
@@ -162,7 +167,13 @@ class GlobalPruner:
             cache_key = None
             if cache is not None:
                 band = self.resolution_band(query, eps)
-                cache_key = (query.points, eps, band, self.use_position_codes)
+                cache_key = (
+                    query.points,
+                    eps,
+                    band,
+                    self.use_position_codes,
+                    self.range_merge_gap,
+                )
                 cached = cache.get(cache_key)
                 if cached is not None:
                     if self.metrics is not None:
@@ -266,12 +277,23 @@ class GlobalPruner:
         )
 
         with tracer.span("prune.ranges") as merge_span:
-            ranges = merge_values_to_ranges(result.values) + subtree_ranges
-            result.ranges = merge_ranges(ranges)
+            gap = self.range_merge_gap
+            value_ranges = merge_values_to_ranges(result.values, gap)
+            result.ranges = merge_ranges(value_ranges + subtree_ranges)
+            merged_away = 0
+            if gap > 0:
+                # How many seeks the gap bridging saved on this plan.
+                exact = merge_ranges(
+                    merge_values_to_ranges(result.values) + subtree_ranges
+                )
+                merged_away = len(exact) - len(result.ranges)
+                if self.metrics is not None:
+                    self.metrics.ranges_merged += merged_away
             merge_span.set_attrs(
                 values=len(result.values),
                 subtree_ranges=len(subtree_ranges),
                 key_ranges=len(result.ranges),
+                ranges_merged=merged_away,
             )
         return result
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.executor import ScanReport
 from repro.core.local_filter import (
+    BatchLocalFilterRowFilter,
     LocalFilter,
     LocalFilterRowFilter,
     LocalFilterStats,
@@ -74,6 +75,19 @@ class ThresholdSearchResult:
         return list(self.resilience.skipped_ranges)
 
 
+def make_row_filter(store: TrajectoryStore, local: LocalFilter):
+    """The scan-side adapter for one query's local filter.
+
+    ``vectorized_filter`` selects the batch adapter (columnar decode +
+    numpy lemma kernels); both adapters make identical accept/reject
+    decisions and produce the same counters, so everything downstream
+    is mode-agnostic.
+    """
+    if store.config.vectorized_filter:
+        return BatchLocalFilterRowFilter(local, decoder=store.columnar_decoder)
+    return LocalFilterRowFilter(local, decoder=store.record_decoder)
+
+
 def threshold_search(
     store: TrajectoryStore,
     pruner: GlobalPruner,
@@ -107,7 +121,7 @@ def threshold_search(
         box_mode=store.config.box_mode,
     )
     local.tracer = tracer
-    row_filter = LocalFilterRowFilter(local, decoder=store.record_decoder)
+    row_filter = make_row_filter(store, local)
 
     # Refinement is pipelined with the scan: the executor hands over
     # each completed range's surviving rows (serialised, so no locking

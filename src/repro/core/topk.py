@@ -36,12 +36,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.executor import ScanReport
-from repro.core.local_filter import (
-    LocalFilter,
-    LocalFilterRowFilter,
-    LocalFilterStats,
-)
+from repro.core.local_filter import LocalFilter, LocalFilterStats
 from repro.core.pruning import GlobalPruner, min_points_rect_distance
+from repro.core.threshold import make_row_filter
 from repro.core.storage import TrajectoryStore
 from repro.exceptions import QueryError
 from repro.geometry.distance import (
@@ -275,18 +272,20 @@ def topk_search(
         nonlocal candidates, retrieved, units_scanned
         units_scanned += 1
         local.set_threshold(current_eps())
-        row_filter = LocalFilterRowFilter(local, decoder=store.record_decoder)
+        # The mode-appropriate adapter: the batch variant decodes each
+        # chunk columnar-once and its accepted records are views over
+        # those arrays, so refinement below reuses the batch decode
+        # instead of re-decoding per record.
+        row_filter = make_row_filter(store, local)
         before = store.metrics.snapshot()
         candidates_before = candidates
 
         def consume(scan_range) -> None:
             nonlocal candidates
             batch = []
-            for key, _ in store.table.scan(
-                scan_range.start, scan_range.stop, row_filter
-            ):
+            for key, _ in store.executor.scan_chunk(scan_range, row_filter):
                 candidates += 1
-                record = row_filter.accepted.pop(key)
+                record = row_filter.accepted.pop(bytes(key))
                 if record.tid in seen_tids:
                     continue
                 batch.append(record)

@@ -115,6 +115,21 @@ class IOMetrics:
     #: global-pruning plan cache (skips Algorithm 1 re-planning)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: columnar decoded-candidate cache (skips ``decode_row_columnar``)
+    columnar_cache_hits: int = 0
+    columnar_cache_misses: int = 0
+    # ------------------------------------------------------------------
+    # Scan-plan coalescing (the vectorised batch query pipeline).
+    # ------------------------------------------------------------------
+    #: single-query scan ranges eliminated by gap coalescing in the
+    #: planner (``range_merge_gap`` > 0)
+    ranges_merged: int = 0
+    #: per-query key ranges folded into the shared plan of a multi-query
+    #: batch (planned ranges minus ranges actually scanned)
+    batch_ranges_merged: int = 0
+    #: row deliveries served from a shared batch scan beyond the first
+    #: (each counts a row some query did *not* have to re-scan)
+    batch_rows_shared: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of the current counters."""

@@ -74,7 +74,7 @@ def _directed_sq(a: PointSeq, b: PointSeq, abandon_sq: float = math.inf) -> floa
 
 def hausdorff(a: PointSeq, b: PointSeq) -> float:
     """Exact symmetric Hausdorff distance."""
-    if not a or not b:
+    if len(a) == 0 or len(b) == 0:
         raise ValueError("Hausdorff distance of an empty sequence")
     forward = _directed_sq(a, b)
     backward = _directed_sq(b, a)
@@ -86,7 +86,7 @@ def _hausdorff_within_value(
 ) -> Optional[float]:
     """Squared symmetric distance when within the relaxed bound, else
     ``None`` (the shared early-abandoning kernel)."""
-    if not a or not b:
+    if len(a) == 0 or len(b) == 0:
         raise ValueError("Hausdorff distance of an empty sequence")
     abandon_sq = (eps * (1.0 + 1e-12)) ** 2 if eps > 0 else 0.0
     forward = _directed_sq(a, b, abandon_sq)
