@@ -21,14 +21,20 @@ Quick start::
 from repro.core.config import TraSSConfig
 from repro.core.engine import TraSS
 from repro.exceptions import (
+    ClusterError,
+    DegradedResult,
     EncodingError,
+    FatalError,
     GeometryError,
     IndexingError,
     KVStoreError,
+    Overloaded,
+    OverloadedError,
     QueryError,
     RegionUnavailableError,
     ReproError,
     ScanTimeoutError,
+    ShardUnavailableError,
     TransientError,
 )
 from repro.kvstore.faults import FaultInjector, FaultSchedule, SimulatedCrash
@@ -71,8 +77,14 @@ __all__ = [
     "KVStoreError",
     "QueryError",
     "TransientError",
+    "FatalError",
+    "DegradedResult",
     "RegionUnavailableError",
     "ScanTimeoutError",
+    "ClusterError",
+    "ShardUnavailableError",
+    "OverloadedError",
+    "Overloaded",
     "FaultInjector",
     "FaultSchedule",
     "SimulatedCrash",

@@ -20,6 +20,10 @@ Build a persistent TraSS store from a trajectory CSV and query it::
     python -m repro.cli heatmap --store ./store
     python -m repro.cli doctor  --store ./store --json
     python -m repro.cli replay  --store ./store
+    python -m repro.cli serve  --store ./store --shard-workers 4 \\
+        --replication 2 --probes 20 --eps 0.01
+    python -m repro.cli query  --store ./store --queries-csv queries.csv \\
+        --eps 0.01 --batch --cluster 4 --replication 2
 
 Query commands accept ``--scan-workers`` and ``--cache-mb`` to override
 the stored execution configuration (answers are identical at any
@@ -169,25 +173,44 @@ def _query(args: argparse.Namespace) -> int:
     if not queries:
         raise ReproError("no queries to run")
 
-    before = engine.metrics.snapshot()
-    started = time.perf_counter()
-    if args.batch:
-        results = engine.threshold_search_many(
-            queries, args.eps, measure=args.measure
-        )
-    else:
-        results = [
-            engine.threshold_search(q, args.eps, measure=args.measure)
-            for q in queries
-        ]
-    wall = time.perf_counter() - started
-    delta = engine.metrics.diff(before)
+    cluster = None
+    if getattr(args, "cluster", None):
+        from repro.serve import ServingCluster
+
+        cluster = ServingCluster.from_engine(
+            engine,
+            partitions=args.cluster,
+            replication=args.replication,
+            hedge_delay_seconds=args.hedge_delay,
+        ).start()
+        engine.set_remote_executor(cluster)
+    try:
+        before = engine.metrics.snapshot()
+        started = time.perf_counter()
+        if args.batch:
+            results = engine.threshold_search_many(
+                queries, args.eps, measure=args.measure
+            )
+        else:
+            results = [
+                engine.threshold_search(q, args.eps, measure=args.measure)
+                for q in queries
+            ]
+        wall = time.perf_counter() - started
+        delta = engine.metrics.diff(before)
+    finally:
+        if cluster is not None:
+            engine.set_remote_executor(None)
+            cluster.stop()
 
     for query, result in zip(queries, results):
         for tid, dist in sorted(result.answers.items(), key=lambda kv: kv[1]):
             print(f"{query.tid}\t{tid}\t{dist:.6f}")
+    mode = "batch" if args.batch else "sequential"
+    if cluster is not None:
+        mode += f", cluster={args.cluster}x{args.replication}"
     print(
-        f"# {len(queries)} queries ({'batch' if args.batch else 'sequential'}"
+        f"# {len(queries)} queries ({mode}"
         f"{', vectorized' if engine.config.vectorized_filter else ''}), "
         f"{sum(len(r.answers) for r in results)} answers, "
         f"{delta['rows_scanned']} rows scanned, "
@@ -597,6 +620,121 @@ def _chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Start a shard-worker cluster over the store and drive a probe
+    workload through it, verifying every answer against the
+    single-process engine.
+
+    Exit 0 when all served answers match, 1 on any divergence, 2 on a
+    cluster error — so the command doubles as a serving-tier smoke
+    test (the CI chaos drill builds on the same machinery).
+    """
+    from repro.serve import AdmissionController, ServingCluster
+
+    if args.store:
+        engine = TraSS.load(args.store)
+        trajectories = [r.as_trajectory() for r in engine.store.all_records()]
+    else:
+        from repro.data.generators import TDRIVE_BOUNDS, tdrive_like
+
+        trajectories = tdrive_like(args.trajectories, seed=args.seed)
+        config = TraSSConfig(
+            bounds=TDRIVE_BOUNDS,
+            max_resolution=12,
+            dp_tolerance=0.005,
+            shards=args.shards,
+        )
+        engine = TraSS.build(trajectories, config)
+    if not trajectories:
+        print("no trajectories to serve", file=sys.stderr)
+        return 1
+    queries = trajectories[: args.probes]
+
+    admission = None
+    if args.tenant_rate is not None or args.max_in_flight is not None:
+        admission = AdmissionController(
+            tenant_rate=args.tenant_rate,
+            tenant_burst=(
+                args.tenant_burst
+                if args.tenant_burst is not None
+                else args.tenant_rate
+            ),
+            max_in_flight=args.max_in_flight,
+        )
+    cluster = ServingCluster.from_engine(
+        engine,
+        partitions=args.shard_workers,
+        replication=args.replication,
+        request_timeout=args.timeout,
+        hedge_delay_seconds=args.hedge_delay,
+        degraded_mode=args.degraded,
+        admission=admission,
+    )
+    started = time.perf_counter()
+    with cluster:
+        startup = time.perf_counter() - started
+        run_started = time.perf_counter()
+        served = cluster.threshold_search_many(queries, args.eps)
+        wall = time.perf_counter() - run_started
+        stats = cluster.stats()
+    expected = engine.threshold_search_many(queries, args.eps)
+    matches = sum(
+        1 for s, e in zip(served, expected) if s.answers == e.answers
+    )
+
+    if args.json:
+        import json
+
+        payload = {
+            "shard_workers": args.shard_workers,
+            "replication": args.replication,
+            "probes": len(queries),
+            "eps": args.eps,
+            "answers": sum(len(r.answers) for r in served),
+            "matches": matches,
+            "startup_seconds": startup,
+            "workload_seconds": wall,
+            "stats": stats,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0 if matches == len(queries) else 1
+
+    counters = stats["counters"]
+    print(
+        f"serving cluster: {args.shard_workers} shard worker(s) x "
+        f"{args.replication} replica(s), started in {startup:.2f}s"
+    )
+    print(
+        f"  workload:      {len(queries)} threshold probes (eps={args.eps:g}) "
+        f"in {wall * 1000:.1f} ms "
+        f"({len(queries) / wall:.1f} queries/s)"
+        if wall > 0
+        else f"  workload:      {len(queries)} threshold probes"
+    )
+    print(
+        f"  answers:       {sum(len(r.answers) for r in served)} "
+        f"({matches}/{len(queries)} probes identical to the "
+        f"single-process engine)"
+    )
+    print(
+        f"  resilience:    {counters['failovers']} failover(s), "
+        f"{counters['hedges']} hedge(s) ({counters['hedge_wins']} won), "
+        f"{stats['worker_restarts']} worker restart(s), "
+        f"{counters['degraded_queries']} degraded quer(y/ies)"
+    )
+    admission_stats = stats["admission"]
+    print(
+        f"  admission:     {admission_stats['admitted']} admitted, "
+        f"{admission_stats['rejected_quota']} rejected (quota), "
+        f"{admission_stats['rejected_queue_depth']} rejected (queue depth)"
+    )
+    if matches == len(queries):
+        print("EXACT: served answers match the single-process engine")
+        return 0
+    print("DIVERGED: some served answers differ", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -692,6 +830,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="coalesce all query plans into one shared scan "
         "(identical answers, fewer rows scanned)",
+    )
+    query.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve the workload from N shard-worker processes "
+        "(scatter-gather; answers identical to the local engine)",
+    )
+    query.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="replicas per shard worker (failover targets; with --cluster)",
+    )
+    query.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        help="send a hedged copy to a second replica after this many "
+        "seconds without a reply (with --cluster)",
     )
     add_perf_args(query)
     query.set_defaults(func=_query)
@@ -874,6 +1033,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="return partial results instead of failing exhausted ranges",
     )
     chaos.set_defaults(func=_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start a shard-worker cluster and verify served answers "
+        "against the single-process engine",
+    )
+    serve.add_argument(
+        "--store",
+        help="existing store to serve (default: a synthetic workload)",
+    )
+    serve.add_argument(
+        "--trajectories",
+        type=int,
+        default=150,
+        help="synthetic workload size when no --store is given",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="row-key salt shards for the synthetic store",
+    )
+    serve.add_argument(
+        "--shard-workers",
+        type=int,
+        default=2,
+        help="worker processes, each owning a disjoint salt slice",
+    )
+    serve.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="replicas per shard worker (failover targets)",
+    )
+    serve.add_argument(
+        "--probes",
+        type=int,
+        default=10,
+        help="stored trajectories used as threshold probe queries",
+    )
+    serve.add_argument("--eps", type=float, default=0.01)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout before failover to another replica",
+    )
+    serve.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        help="send a hedged copy to a second replica after this many "
+        "seconds without a reply",
+    )
+    serve.add_argument(
+        "--degraded",
+        action="store_true",
+        help="return partial answers (with exact skipped-range "
+        "accounting) when a whole partition is unreachable",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="admission control: sustained queries/second per tenant",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        help="admission control: per-tenant burst size "
+        "(default: --tenant-rate)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="admission control: shed load beyond this many "
+        "concurrent queries",
+    )
+    serve.add_argument("--json", action="store_true")
+    serve.set_defaults(func=_serve)
 
     return parser
 

@@ -65,6 +65,10 @@ class TraSS:
         """
         self._tracer = NULL_TRACER
         self.store.executor.tracer = NULL_TRACER
+        #: optional remote executor (a ``repro.serve.ServingCluster``);
+        #: when set, queries are answered by the cluster instead of the
+        #: local store — see :meth:`set_remote_executor`
+        self._remote_executor = None
         self.registry = MetricsRegistry()
         self.slow_query_log = SlowQueryLog(
             capacity=self.config.slow_query_log_size,
@@ -141,6 +145,21 @@ class TraSS:
         if measure is None:
             return self.measure
         return get_measure(measure)
+
+    # ------------------------------------------------------------------
+    # Remote execution (the serving tier)
+    # ------------------------------------------------------------------
+    def set_remote_executor(self, remote) -> None:
+        """Route queries through ``remote`` (a started
+        ``repro.serve.ServingCluster``) instead of the local store;
+        ``None`` detaches and restores local execution.  Answers are
+        bit-identical either way — only the execution substrate moves.
+        """
+        self._remote_executor = remote
+
+    @property
+    def remote_executor(self):
+        return self._remote_executor
 
     # ------------------------------------------------------------------
     # Observability
@@ -312,6 +331,10 @@ class TraSS:
         Measures lacking the Lemma 5 point lower bound (EDR, ERP) cannot
         be index-pruned; they are answered by a verified full scan.
         """
+        if self._remote_executor is not None:
+            return self._remote_executor.threshold_search(
+                query, eps, measure=measure
+            )
         resolved = self._resolve_measure(measure)
         tracer = self._tracer
         io_before = self._io_before_query()
@@ -353,6 +376,8 @@ class TraSS:
         Measures lacking the Lemma 5 lower bound fall back to a ranked
         full scan (the index's geometric bounds do not bound them).
         """
+        if self._remote_executor is not None:
+            return self._remote_executor.topk_search(query, k, measure=measure)
         resolved = self._resolve_measure(measure)
         tracer = self._tracer
         io_before = self._io_before_query()
@@ -407,6 +432,10 @@ class TraSS:
         Batched queries skip the workload recorder: per-query I/O
         deltas are meaningless under a shared scan.
         """
+        if self._remote_executor is not None:
+            return self._remote_executor.threshold_search_many(
+                queries, eps, measure=measure
+            )
         queries = list(queries)
         try:
             eps_list = [float(e) for e in eps]
@@ -472,6 +501,10 @@ class TraSS:
         runs the queries one at a time and exists so batch callers can
         stay mode-agnostic.
         """
+        if self._remote_executor is not None:
+            return self._remote_executor.topk_search_many(
+                queries, k, measure=measure
+            )
         return [self.topk_search(q, k, measure=measure) for q in queries]
 
     # ------------------------------------------------------------------

@@ -79,8 +79,18 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive failures of one region open its
     circuit: further scans touching it fail fast (no retries) until
-    ``cooldown_seconds`` of executor time pass, after which one probe
-    is allowed through (half-open); success closes the circuit.
+    ``cooldown_seconds`` of executor time pass, after which exactly
+    **one** probe is allowed through (half-open); success closes the
+    circuit, failure re-opens it immediately.
+
+    The class is safe under concurrent scans (the parallel executor's
+    worker threads and the serving coordinator both share one breaker):
+    all state transitions happen under a lock, and the half-open window
+    admits a single probe no matter how many threads race the cooldown
+    expiry — the others keep seeing the circuit as open until the probe
+    resolves.  A probe whose caller never reports back (e.g. the range
+    was skipped) stops blocking after a further ``cooldown_seconds``,
+    when the next caller is admitted as a fresh probe.
     """
 
     def __init__(
@@ -88,56 +98,108 @@ class CircuitBreaker:
     ):
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
+        self._lock = threading.Lock()
         self._consecutive: Dict[RegionSpan, int] = {}
         self._open_until: Dict[RegionSpan, float] = {}
+        #: span -> admission time of the in-flight half-open probe
+        self._probe_started: Dict[RegionSpan, float] = {}
         #: total open transitions
         self.trips = 0
+        #: total half-open probes admitted
+        self.probes_admitted = 0
 
     def snapshot(self) -> Dict[str, object]:
         """Current breaker state for operational reporting (the
         ``repro chaos`` / ``repro stats`` CLIs and the metrics
         registry's ``trass.resilience.breaker.*`` gauges)."""
-        return {
-            "open_regions": len(self._open_until),
-            "tracked_regions": len(self._consecutive),
-            "trips": self.trips,
-            "any_open": bool(self._open_until),
-        }
+        with self._lock:
+            return {
+                "open_regions": len(self._open_until),
+                "tracked_regions": len(self._consecutive),
+                "trips": self.trips,
+                "probes_admitted": self.probes_admitted,
+                "any_open": bool(self._open_until),
+            }
 
     def is_open(self, span: RegionSpan, now: float) -> bool:
-        until = self._open_until.get(span)
-        if until is None:
-            return False
-        if now >= until:
-            # Cooldown over: half-open — allow a probe, one strike
-            # re-opens immediately.
-            del self._open_until[span]
-            self._consecutive[span] = self.failure_threshold - 1
-            return False
-        return True
+        """Whether ``span``'s circuit rejects a scan starting ``now``.
+
+        A ``False`` return on a span whose cooldown just expired *is*
+        the probe admission: the caller is expected to run the scan and
+        report back via :meth:`record_success` / :meth:`record_failure`.
+        Concurrent callers in the same half-open window keep getting
+        ``True``.
+        """
+        with self._lock:
+            until = self._open_until.get(span)
+            if until is None:
+                probe = self._probe_started.get(span)
+                if probe is None:
+                    return False
+                if now - probe >= self.cooldown_seconds:
+                    # The previous probe never resolved; admit another.
+                    self._probe_started[span] = now
+                    self.probes_admitted += 1
+                    return False
+                return True  # probe in flight: everyone else waits
+            if now >= until:
+                # Cooldown over: half-open — admit exactly this caller
+                # as the probe; one strike re-opens immediately.
+                del self._open_until[span]
+                self._consecutive[span] = self.failure_threshold - 1
+                self._probe_started[span] = now
+                self.probes_admitted += 1
+                return False
+            return True
 
     def record_failure(self, span: RegionSpan, now: float) -> bool:
         """Count a failure; returns True on a closed->open transition."""
-        count = self._consecutive.get(span, 0) + 1
-        self._consecutive[span] = count
-        if count >= self.failure_threshold and span not in self._open_until:
-            self._open_until[span] = now + self.cooldown_seconds
-            self.trips += 1
-            return True
-        return False
+        with self._lock:
+            self._probe_started.pop(span, None)
+            count = self._consecutive.get(span, 0) + 1
+            self._consecutive[span] = count
+            if (
+                count >= self.failure_threshold
+                and span not in self._open_until
+            ):
+                self._open_until[span] = now + self.cooldown_seconds
+                self.trips += 1
+                return True
+            return False
 
     def record_success(self, span: RegionSpan) -> None:
-        self._consecutive[span] = 0
-        self._open_until.pop(span, None)
+        with self._lock:
+            self._probe_started.pop(span, None)
+            self._consecutive[span] = 0
+            self._open_until.pop(span, None)
+
+    def clear_probe(self, span: RegionSpan) -> None:
+        """Resolve an in-flight probe of ``span`` as a success.
+
+        Narrower than :meth:`record_success`: touches nothing unless a
+        probe is actually pending, so spans that merely share a scan
+        range with the probed region keep their failure history.
+        """
+        with self._lock:
+            if self._probe_started.pop(span, None) is not None:
+                self._consecutive[span] = 0
+
+    @property
+    def any_probing(self) -> bool:
+        with self._lock:
+            return bool(self._probe_started)
 
     def reset(self) -> None:
         """Forget all failure history (open circuits included)."""
-        self._consecutive.clear()
-        self._open_until.clear()
+        with self._lock:
+            self._consecutive.clear()
+            self._open_until.clear()
+            self._probe_started.clear()
 
     @property
     def any_open(self) -> bool:
-        return bool(self._open_until)
+        with self._lock:
+            return bool(self._open_until) or bool(self._probe_started)
 
 
 @dataclass
@@ -460,16 +522,20 @@ class ResilientExecutor:
         return kept
 
     # ------------------------------------------------------------------
-    def _breaker_rejects(self, scan_range: ScanRange) -> bool:
-        now = self._now()
+    def _range_spans(self, scan_range: ScanRange) -> List[RegionSpan]:
         lo, hi = self.table.overlapping_region_span(
             scan_range.start, scan_range.stop
         )
-        return any(
-            self.breaker.is_open(
-                (region.start_key, region.end_key), now
-            )
+        return [
+            (region.start_key, region.end_key)
             for region in self.table.regions[lo:hi]
+        ]
+
+    def _breaker_rejects(self, scan_range: ScanRange) -> bool:
+        now = self._now()
+        return any(
+            self.breaker.is_open(span, now)
+            for span in self._range_spans(scan_range)
         )
 
     def _skip(self, scan_range: ScanRange, report: ScanReport) -> None:
@@ -528,6 +594,11 @@ class ResilientExecutor:
             else:
                 for span in failed_spans:
                     self.breaker.record_success(span)
+                if self.breaker.any_probing:
+                    # A probe admitted by the half-open check covers
+                    # this range; a clean pass closes its circuit.
+                    for span in self._range_spans(scan_range):
+                        self.breaker.clear_probe(span)
                 report.ranges_completed += 1
                 return
 

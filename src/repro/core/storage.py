@@ -240,17 +240,25 @@ class TrajectoryStore:
     # Read path
     # ------------------------------------------------------------------
     def scan_ranges_for(
-        self, ranges: Sequence[IndexRange]
+        self,
+        ranges: Sequence[IndexRange],
+        shards: Optional[Sequence[int]] = None,
     ) -> List[ScanRange]:
         """Per-shard row-key scan ranges for a set of index-value ranges.
 
         Every shard must be visited because the salt byte leads the key
         (Section IV-E) — the cost the paper's Figure 19 sweep studies.
+        ``shards`` restricts the plan to a subset of salts; the serving
+        tier uses this so each shard worker scans only the salts it
+        owns.
         """
         if self.key_encoding != INTEGER_KEYS:
-            return self._string_scan_ranges_for(ranges)
+            return self._string_scan_ranges_for(ranges, shards)
+        shard_ids = (
+            range(self.config.shards) if shards is None else sorted(shards)
+        )
         out: List[ScanRange] = []
-        for shard in range(self.config.shards):
+        for shard in shard_ids:
             for index_range in ranges:
                 start, stop = rowkey_range(
                     shard, index_range.start, index_range.stop
@@ -265,7 +273,9 @@ class TrajectoryStore:
         )
 
     def _string_scan_ranges_for(
-        self, ranges: Sequence[IndexRange]
+        self,
+        ranges: Sequence[IndexRange],
+        shards: Optional[Sequence[int]] = None,
     ) -> List[ScanRange]:
         """Scan ranges under the TraSS-S string encoding.
 
@@ -276,8 +286,11 @@ class TrajectoryStore:
         empty) and are emitted as individual prefix scans.
         """
         root_start = self.index.root_block_start
+        shard_ids = (
+            range(self.config.shards) if shards is None else sorted(shards)
+        )
         out: List[ScanRange] = []
-        for shard in range(self.config.shards):
+        for shard in shard_ids:
             for index_range in ranges:
                 lo, hi = index_range.start, index_range.stop
                 for value in range(max(lo, root_start), hi):

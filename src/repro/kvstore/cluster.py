@@ -1,8 +1,10 @@
-"""A cluster cost model for the embedded store.
+"""The *offline* cluster cost model for the embedded store.
 
-The paper evaluates on a five-node HBase cluster; the embedded store is
-one process.  Two cluster effects matter for its Figure 19 (shard
-sweep) and the scalability discussion:
+This module is the analytical counterpart of the real serving tier in
+:mod:`repro.serve`: ``repro doctor`` and the Figure 19 shard sweep use
+``ClusterModel`` to *predict* placement effects without spawning
+processes, while ``repro serve`` actually runs shard workers.  Two
+cluster effects matter for the prediction:
 
 * **skew** — with few salt shards, similar trajectories concentrate in
   few regions, so one region server does most of a query's scanning
@@ -25,8 +27,9 @@ assumptions about it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.exceptions import KVStoreError
 from repro.kvstore.table import KVTable, ScanRange
@@ -55,6 +58,10 @@ class ClusterModel:
     ):
         if nodes < 1:
             raise KVStoreError(f"node count must be >= 1, got {nodes}")
+        if row_cost < 0:
+            raise KVStoreError(f"row_cost must be >= 0, got {row_cost}")
+        if seek_cost < 0:
+            raise KVStoreError(f"seek_cost must be >= 0, got {seek_cost}")
         self.table = table
         self.nodes = nodes
         self.row_cost = row_cost
@@ -69,22 +76,37 @@ class ClusterModel:
         """Per-node load of executing ``ranges`` against the table.
 
         Counts the same rows the real scan would touch (pre-filter),
-        attributed to the node hosting each region.  Overlapping
-        regions come from a bisect over the sorted region boundaries
-        (regions tile the key space), so a query of R ranges costs
-        O(R log regions) plus the rows actually inside the ranges —
-        not O(R × regions) as the old full sweep did, which dominated
-        the Figure 19 bench at large shard counts.
+        attributed to the node hosting each region.  The region list is
+        snapshotted once up front: a mid-query split (fault injection
+        can force one from inside ``region.scan``) would otherwise
+        shift region indices between ranges, reassigning nodes mid-way
+        and attributing a split region's rows twice — once as the whole
+        and once per half.  Split-off regions keep their own stores, so
+        the snapshot stays scannable and every row is counted exactly
+        once under one consistent placement.
+
+        Overlapping regions come from a bisect over the sorted region
+        boundaries (regions tile the key space), so a query of R ranges
+        costs O(R log regions) plus the rows actually inside the ranges.
         """
+        regions: List = list(self.table.regions)
+        starts = [r.start_key for r in regions[1:]]
         loads: Dict[int, NodeLoad] = {
             node: NodeLoad() for node in range(self.nodes)
         }
         for scan_range in ranges:
-            lo, hi = self.table.overlapping_region_span(
-                scan_range.start, scan_range.stop
+            lo = (
+                0
+                if scan_range.start is None
+                else bisect.bisect_right(starts, scan_range.start)
             )
-            for idx in range(lo, hi):
-                region = self.table.regions[idx]
+            hi = (
+                len(regions)
+                if scan_range.stop is None
+                else bisect.bisect_left(starts, scan_range.stop) + 1
+            )
+            for idx in range(lo, max(lo, hi)):
+                region = regions[idx]
                 node = self._node_of_region(idx)
                 load = loads[node]
                 load.range_seeks += 1

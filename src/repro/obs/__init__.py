@@ -16,6 +16,7 @@ from repro.obs.registry import (
     IO_METRIC_NAMES,
     MetricsRegistry,
     parse_prometheus,
+    update_registry_from_cluster,
     update_registry_from_engine,
 )
 from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
@@ -45,5 +46,6 @@ __all__ = [
     "explain_analyze",
     "format_span_tree",
     "parse_prometheus",
+    "update_registry_from_cluster",
     "update_registry_from_engine",
 ]

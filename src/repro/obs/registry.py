@@ -317,6 +317,57 @@ def update_registry_from_engine(registry: MetricsRegistry, engine) -> None:
     update_storage_registry(registry, engine)
 
 
+def update_registry_from_cluster(registry: MetricsRegistry, cluster) -> None:
+    """Refresh ``registry`` from a serving cluster's counters.
+
+    Mirrors :func:`update_registry_from_engine` for the distributed
+    tier: scatter-gather traffic, failover/hedging activity, degraded
+    queries and the admission front door, all under ``trass.serve.*``.
+    Reads only.
+    """
+    stats = cluster.stats()
+    registry.gauge(
+        "trass.serve.partitions", "shard partitions in the cluster"
+    ).set(stats["partitions"])
+    registry.gauge(
+        "trass.serve.replication", "replicas per partition"
+    ).set(stats["replication"])
+    counter_help = {
+        "requests": "scatter-gather fan-outs issued",
+        "threshold_queries": "threshold queries answered",
+        "topk_queries": "top-k queries answered",
+        "hedges": "hedged request copies sent",
+        "hedge_wins": "queries won by the hedge copy",
+        "failovers": "replica failures failed over",
+        "degraded_queries": "queries answered with skipped ranges",
+        "stale_replies": "late replies drained and dropped",
+        "breaker_short_circuits": "replicas skipped by an open circuit",
+        "worker_errors": "error replies received from workers",
+    }
+    for key, value in stats["counters"].items():
+        registry.counter(
+            f"trass.serve.{key}", counter_help.get(key, key)
+        ).set_to(value)
+    registry.counter(
+        "trass.serve.worker_restarts", "dead workers replaced"
+    ).set_to(stats["worker_restarts"])
+    admission = stats["admission"]
+    registry.gauge(
+        "trass.serve.admission.in_flight", "requests currently admitted"
+    ).set(admission["in_flight"])
+    registry.counter(
+        "trass.serve.admission.admitted", "requests admitted"
+    ).set_to(admission["admitted"])
+    registry.counter(
+        "trass.serve.admission.rejected_quota",
+        "requests shed by per-tenant quota",
+    ).set_to(admission["rejected_quota"])
+    registry.counter(
+        "trass.serve.admission.rejected_queue_depth",
+        "requests shed by queue-depth limit",
+    ).set_to(admission["rejected_queue_depth"])
+
+
 _PROM_LINE_RE = re.compile(
     r"^(#\s(HELP|TYPE)\s[A-Za-z_:][A-Za-z0-9_:]*.*"
     r"|[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})?\s[^\s]+)$"

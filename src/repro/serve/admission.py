@@ -1,0 +1,149 @@
+"""Admission control: the serving tier's front door.
+
+Two independent gates, both optional, both shedding with *typed*
+:class:`~repro.exceptions.OverloadedError` rejections so overload
+degrades into fast failures instead of unbounded queueing:
+
+* **per-tenant token buckets** — each tenant refills at
+  ``tenant_rate`` requests/second up to a ``tenant_burst`` reserve;
+  an empty bucket rejects with ``reason="quota"`` and an honest
+  ``retry_after_seconds`` estimate;
+* **queue-depth shedding** — at most ``max_in_flight`` requests may be
+  inside the coordinator at once; beyond that the request is rejected
+  immediately with ``reason="queue_depth"`` (no retry-after: depth
+  clears as soon as in-flight work drains, not on a clock).
+
+The clock is injectable so the bucket arithmetic is testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ClusterError, OverloadedError
+
+
+class TokenBucket:
+    """A standard token bucket on an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate < 0:
+            raise ClusterError(f"rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ClusterError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._last = clock()
+
+    def try_take(self, n: float = 1.0):
+        """``(True, 0.0)`` and debit on success; ``(False, retry_after)``
+        otherwise.  ``retry_after`` is ``None`` when the bucket never
+        refills (``rate == 0``)."""
+        now = self.clock()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True, 0.0
+        if self.rate <= 0:
+            return False, None
+        return False, (n - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Gate keeper in front of the coordinator's query methods.
+
+    ``None`` for either knob disables that gate; the default controller
+    admits everything (the bench path constructs clusters without
+    limits and flips them on only for the overload drill).
+    """
+
+    def __init__(
+        self,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        max_in_flight: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ClusterError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = (
+            tenant_burst
+            if tenant_burst is not None
+            else (tenant_rate if tenant_rate else None)
+        )
+        self.max_in_flight = max_in_flight
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.in_flight = 0
+        self.admitted = 0
+        self.rejected_quota = 0
+        self.rejected_queue_depth = 0
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate, self.tenant_burst, self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str = "default") -> None:
+        """Admit one request or raise :class:`OverloadedError`.
+
+        Depth is checked first: a full queue sheds even tenants with
+        quota to spend, because queue depth protects the *server* while
+        quotas arbitrate between tenants.
+        """
+        with self._lock:
+            if (
+                self.max_in_flight is not None
+                and self.in_flight >= self.max_in_flight
+            ):
+                self.rejected_queue_depth += 1
+                raise OverloadedError(
+                    f"{self.in_flight} requests in flight "
+                    f"(max {self.max_in_flight})",
+                    tenant=tenant,
+                    reason="queue_depth",
+                )
+            if self.tenant_rate is not None:
+                ok, retry_after = self._bucket(tenant).try_take(1.0)
+                if not ok:
+                    self.rejected_quota += 1
+                    raise OverloadedError(
+                        f"tenant {tenant!r} exceeded "
+                        f"{self.tenant_rate}/s (burst {self.tenant_burst})",
+                        tenant=tenant,
+                        reason="quota",
+                        retry_after_seconds=retry_after,
+                    )
+            self.in_flight += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - 1)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "in_flight": self.in_flight,
+                "admitted": self.admitted,
+                "rejected_quota": self.rejected_quota,
+                "rejected_queue_depth": self.rejected_queue_depth,
+                "tenants": len(self._buckets),
+            }

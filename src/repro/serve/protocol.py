@@ -1,0 +1,125 @@
+"""Wire protocol between the serving coordinator and shard workers.
+
+One envelope each way: the coordinator sends :class:`Request` objects
+down a ``multiprocessing`` pipe and the worker answers each with one
+:class:`Reply` carrying the same ``id``.  Pipes already frame and
+pickle messages, so the protocol stays declarative — dataclasses of
+primitives plus the two accounting dataclasses
+(:class:`~repro.core.executor.ScanReport`,
+:class:`~repro.core.local_filter.LocalFilterStats`) that the
+coordinator folds into its merged results.
+
+Errors cross the boundary as ``(type name, message, transient)``
+triples rather than pickled exceptions: the coordinator re-raises by
+looking the name up in :mod:`repro.exceptions`, so failover policy
+stays type-driven on both sides of the pipe without trusting arbitrary
+pickled objects from a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import exceptions as _exceptions
+from repro.core.executor import ScanReport
+from repro.core.local_filter import LocalFilterStats
+from repro.exceptions import ClusterError, TransientError
+
+PROTOCOL_VERSION = 1
+
+#: query kinds
+KIND_THRESHOLD = "threshold"
+KIND_TOPK = "topk"
+KIND_PING = "ping"
+#: directive kinds (tests and chaos drills)
+KIND_STALL = "stall"
+KIND_CRASH = "crash"
+KIND_SHUTDOWN = "shutdown"
+
+
+@dataclass
+class Request:
+    """One coordinator -> worker message."""
+
+    id: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Reply:
+    """One worker -> coordinator message, matched to a request by id."""
+
+    id: int
+    ok: bool
+    payload: Any = None
+    #: ``(exception type name, message, transient?)`` when ``not ok``
+    error: Optional[Tuple[str, str, bool]] = None
+
+
+@dataclass
+class ThresholdPartial:
+    """One shard's contribution to a threshold query.
+
+    Shards own disjoint salt slices, so ``answers`` dicts are disjoint
+    across partials and the coordinator merge is a plain union.
+    """
+
+    answers: Dict[str, float]
+    candidates: int
+    retrieved_rows: int
+    pruning_seconds: float
+    scan_seconds: float
+    refine_seconds: float
+    resilience: Optional[ScanReport] = None
+    filter_stats: Optional[LocalFilterStats] = None
+
+
+@dataclass
+class TopKPartial:
+    """One shard's local top-k over its own trajectories.
+
+    Every stored trajectory lives in exactly one shard, so the global
+    top-k is contained in the union of per-shard top-k lists; the
+    coordinator keeps the k smallest by ``(distance, tid)``.
+    """
+
+    answers: List[Tuple[float, str]]
+    candidates: int
+    retrieved_rows: int
+    units_scanned: int
+    elements_expanded: int
+    total_seconds: float
+    resilience: Optional[ScanReport] = None
+    filter_stats: Optional[LocalFilterStats] = None
+
+
+def encode_error(exc: BaseException) -> Tuple[str, str, bool]:
+    """The wire form of a worker-side exception."""
+    return (
+        type(exc).__name__,
+        str(exc),
+        isinstance(exc, TransientError),
+    )
+
+
+def decode_error(error: Tuple[str, str, bool]) -> Exception:
+    """Rebuild a worker error as the matching library exception.
+
+    Unknown names (including non-repro exceptions raised inside a
+    worker) come back as :class:`ClusterError` so the caller still gets
+    a typed, catchable failure.
+    """
+    name, message, _transient = error
+    cls = getattr(_exceptions, name, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        try:
+            return cls(message)
+        except TypeError:
+            pass
+    return ClusterError(f"{name}: {message}")
+
+
+def error_is_transient(error: Tuple[str, str, bool]) -> bool:
+    return bool(error[2])

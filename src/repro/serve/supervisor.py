@@ -1,0 +1,122 @@
+"""Process supervision for shard workers.
+
+The supervisor owns the process lifecycle: spawning each replica from
+its :class:`~repro.serve.worker.WorkerSpec`, replacing dead replicas
+(bounded by ``max_restarts`` per slot, so a crash-looping worker cannot
+restart forever), and tearing everything down.  Routing, failover and
+retry policy live in the coordinator — the supervisor only answers
+"give me a live process for this spec".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ClusterError
+from repro.serve.worker import WorkerSpec, worker_main
+
+
+def _mp_context():
+    """Fork where available (cheap worker startup), spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass(eq=False)  # identity semantics: handles live in sets/dicts
+class ReplicaHandle:
+    """A live (or recently dead) worker process plus its pipe."""
+
+    spec: WorkerSpec
+    process: object
+    conn: object
+    restarts: int = 0
+
+    @property
+    def partition(self) -> int:
+        return self.spec.partition
+
+    @property
+    def replica(self) -> int:
+        return self.spec.replica
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker — the chaos drill's entry point."""
+        self.process.kill()
+        self.process.join(timeout=5.0)
+
+
+class ShardSupervisor:
+    """Spawns and replaces shard worker processes."""
+
+    def __init__(self, max_restarts: int = 3):
+        if max_restarts < 0:
+            raise ClusterError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.max_restarts = max_restarts
+        self.ctx = _mp_context()
+        #: (partition, replica) -> restart count, survives handle swaps
+        self._restart_counts: Dict[Tuple[int, int], int] = {}
+        self.total_restarts = 0
+        self._handles: List[ReplicaHandle] = []
+
+    def spawn(self, spec: WorkerSpec) -> ReplicaHandle:
+        parent_conn, child_conn = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=worker_main,
+            args=(spec, child_conn),
+            name=f"trass-shard-p{spec.partition}r{spec.replica}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = ReplicaHandle(
+            spec=spec,
+            process=process,
+            conn=parent_conn,
+            restarts=self._restart_counts.get(
+                (spec.partition, spec.replica), 0
+            ),
+        )
+        self._handles.append(handle)
+        return handle
+
+    def restart(self, handle: ReplicaHandle) -> Optional[ReplicaHandle]:
+        """Replace a dead replica; ``None`` once its budget is spent."""
+        slot = (handle.partition, handle.replica)
+        used = self._restart_counts.get(slot, 0)
+        if used >= self.max_restarts:
+            return None
+        self._restart_counts[slot] = used + 1
+        self.total_restarts += 1
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle in self._handles:
+            self._handles.remove(handle)
+        replacement = self.spawn(handle.spec)
+        replacement.restarts = used + 1
+        return replacement
+
+    def stop_all(self, timeout: float = 5.0) -> None:
+        for handle in self._handles:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self._handles:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():  # pragma: no cover - stuck child
+                handle.process.kill()
+                handle.process.join(timeout=timeout)
+        self._handles.clear()

@@ -1,0 +1,247 @@
+"""Shard worker: one process owning one partition's salt slice.
+
+A worker is a full single-process TraSS engine restricted to the
+trajectories whose salted row keys fall in its partition.  The salt is
+the *first byte* of every row key and is a pure function of the
+trajectory id (:func:`~repro.kvstore.rowkey.shard_of`), so partitioning
+by ``salt % partitions`` on the coordinator and rebuilding each slice
+in its worker reproduces exactly the key placement the single-process
+store would have — scans over the owned salts read exactly the rows the
+single-process scan would have read from those salts.
+
+The worker loop is strictly FIFO over its pipe: requests are answered
+in arrival order, which is what lets the coordinator pipeline a whole
+workload per connection and match replies positionally by id.
+
+Replicas of the same partition are built from the same spec, hence
+byte-identical stores: failing over re-asks an identical store, which
+is the exactness half of the failover argument (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import TraSS
+from repro.core.config import TraSSConfig
+from repro.core.local_filter import LocalFilter
+from repro.core.threshold import make_row_filter
+from repro.geometry.trajectory import Trajectory
+from repro.index.ranges import IndexRange
+from repro.kvstore.faults import FaultInjector, FaultSchedule, SimulatedCrash
+from repro.serve.protocol import (
+    KIND_CRASH,
+    KIND_PING,
+    KIND_SHUTDOWN,
+    KIND_STALL,
+    KIND_THRESHOLD,
+    KIND_TOPK,
+    Reply,
+    Request,
+    ThresholdPartial,
+    TopKPartial,
+    encode_error,
+)
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker process needs to rebuild its store slice.
+
+    Carried across the process boundary by pickle, so it holds only
+    plain data: the engine config, the raw ``(tid, points)`` pairs of
+    the partition, and the salts the partition owns.
+    """
+
+    partition: int
+    replica: int
+    config: TraSSConfig
+    key_encoding: str
+    trajectories: List[Tuple[str, tuple]]
+    owned_salts: Tuple[int, ...]
+    #: optional deterministic fault schedule installed on the worker's
+    #: own table — `crash_sites` kill the *worker process* (the
+    #: in-process SimulatedCrash becomes an os._exit), which is how
+    #: chaos drills kill shards deterministically mid-workload
+    fault_schedule: Optional[FaultSchedule] = field(default=None)
+
+
+def build_worker_engine(spec: WorkerSpec) -> TraSS:
+    """Materialise the partition's engine from its spec."""
+    engine = TraSS(spec.config, spec.key_encoding)
+    engine.add_all(
+        Trajectory(tid, points) for tid, points in spec.trajectories
+    )
+    if spec.fault_schedule is not None:
+        engine.install_fault_injector(FaultInjector(spec.fault_schedule))
+    return engine
+
+
+def threshold_partial(
+    engine: TraSS,
+    owned_salts: Sequence[int],
+    query: Trajectory,
+    eps: float,
+    measure,
+    index_ranges: Optional[Sequence[Tuple[int, int]]],
+) -> ThresholdPartial:
+    """This shard's share of Algorithm 3.
+
+    The coordinator already ran global pruning, so the worker gets the
+    planned index-value ranges and only maps them to row-key ranges
+    over its *owned* salts — the per-shard half of the single-process
+    scan plan.  Everything downstream (local filter, resilient scan,
+    pipelined refine) is the same code path as
+    :func:`repro.core.threshold.threshold_search`, so a merged set of
+    partials is field-for-field the single-process result.
+
+    ``index_ranges is None`` means the measure cannot be index-pruned:
+    fall back to a full scan of the worker's slice, mirroring
+    ``TraSS._full_scan_threshold`` over this partition's trajectories.
+    """
+    store = engine.store
+    if index_ranges is None:
+        result = engine._full_scan_threshold(query, eps, measure)
+        return ThresholdPartial(
+            answers=result.answers,
+            candidates=result.candidates,
+            retrieved_rows=result.retrieved_rows,
+            pruning_seconds=0.0,
+            scan_seconds=result.scan_seconds,
+            refine_seconds=result.refine_seconds,
+        )
+
+    started = time.perf_counter()
+    ranges = [IndexRange(start, stop) for start, stop in index_ranges]
+    scan_ranges = store.scan_ranges_for(ranges, shards=owned_salts)
+    pruning_seconds = time.perf_counter() - started
+
+    local = LocalFilter(
+        query,
+        measure,
+        eps,
+        store.config.dp_tolerance,
+        box_mode=store.config.box_mode,
+    )
+    row_filter = make_row_filter(store, local)
+
+    answers = {}
+    refine_clock = [0.0]
+    query_points = query.points
+
+    def refine(chunk, used_filter) -> None:
+        refine_started = time.perf_counter()
+        accepted = used_filter.accepted
+        for key, _ in chunk:
+            record = accepted[key]
+            dist = measure.distance_within(query_points, record.points, eps)
+            if dist is not None:
+                answers[record.tid] = dist
+        refine_clock[0] += time.perf_counter() - refine_started
+
+    before = store.metrics.snapshot()
+    scan_started = time.perf_counter()
+    rows, scan_report = store.executor.scan_ranges(
+        scan_ranges, row_filter, on_range_rows=refine
+    )
+    elapsed = time.perf_counter() - scan_started
+    retrieved = store.metrics.diff(before)["rows_scanned"]
+    refine_seconds = min(refine_clock[0], elapsed)
+
+    return ThresholdPartial(
+        answers=answers,
+        candidates=len(rows),
+        retrieved_rows=retrieved,
+        pruning_seconds=pruning_seconds,
+        scan_seconds=elapsed - refine_seconds,
+        refine_seconds=refine_seconds,
+        resilience=scan_report,
+        filter_stats=local.stats,
+    )
+
+
+def topk_partial(engine: TraSS, query: Trajectory, k: int, measure_name):
+    """This shard's local top-k (Algorithm 4 over the worker's slice).
+
+    Top-k plans adaptively, so there is no coordinator plan to share;
+    each worker runs the full best-first search on its own store and
+    the coordinator keeps the global k smallest.
+    """
+    result = engine.topk_search(query, k, measure=measure_name)
+    return TopKPartial(
+        answers=result.answers,
+        candidates=result.candidates,
+        retrieved_rows=result.retrieved_rows,
+        units_scanned=result.units_scanned,
+        elements_expanded=result.elements_expanded,
+        total_seconds=result.total_seconds,
+        resilience=result.resilience,
+        filter_stats=result.filter_stats,
+    )
+
+
+def _handle(engine: TraSS, spec: WorkerSpec, request: Request):
+    payload = request.payload
+    if request.kind == KIND_PING:
+        return {
+            "partition": spec.partition,
+            "replica": spec.replica,
+            "trajectories": len(engine),
+            "pid": os.getpid(),
+        }
+    query = Trajectory(payload["tid"], payload["points"])
+    measure = engine._resolve_measure(payload.get("measure"))
+    if request.kind == KIND_THRESHOLD:
+        return threshold_partial(
+            engine,
+            spec.owned_salts,
+            query,
+            payload["eps"],
+            measure,
+            payload.get("ranges"),
+        )
+    if request.kind == KIND_TOPK:
+        return topk_partial(engine, query, payload["k"], measure.name)
+    raise ValueError(f"unknown request kind {request.kind!r}")
+
+
+def worker_main(spec: WorkerSpec, conn) -> None:
+    """Process entry point: build the slice, then serve FIFO forever.
+
+    Exits when the pipe closes (coordinator gone), on an explicit
+    shutdown, or — via ``os._exit`` — on a crash directive or an
+    injected :class:`SimulatedCrash`, which must look exactly like
+    ``kill -9`` to the coordinator (no reply, dead pipe).
+    """
+    engine = build_worker_engine(spec)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        if request.kind == KIND_SHUTDOWN:
+            conn.close()
+            return
+        if request.kind == KIND_CRASH:
+            os._exit(1)
+        if request.kind == KIND_STALL:
+            time.sleep(float(request.payload.get("seconds", 0.0)))
+            try:
+                conn.send(Reply(request.id, True, payload="stalled"))
+            except (BrokenPipeError, OSError):
+                return
+            continue
+        try:
+            result = _handle(engine, spec, request)
+            reply = Reply(request.id, True, payload=result)
+        except SimulatedCrash:
+            os._exit(1)
+        except Exception as exc:  # typed error crosses the wire
+            reply = Reply(request.id, False, error=encode_error(exc))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

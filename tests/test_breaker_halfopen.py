@@ -1,0 +1,106 @@
+"""Property test: the circuit breaker's half-open window admits
+exactly one probe, no matter how many threads race the cooldown expiry.
+
+The parallel scan executor and the serving coordinator share one
+breaker across worker threads; if two racers both saw the circuit as
+half-open, both would hit a region that just proved unhealthy — the
+whole point of half-open is a single canary.  ``is_open`` takes an
+explicit ``now``, so the race is driven with a frozen clock and a
+barrier instead of sleeps: every thread asks at the same instant.
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executor import CircuitBreaker
+
+
+def _race_is_open(breaker, span, now, threads):
+    """All ``threads`` call ``is_open(span, now)`` at once; returns the
+    number that were admitted (saw the circuit as closed/half-open)."""
+    barrier = threading.Barrier(threads)
+    admitted = []
+
+    def racer():
+        barrier.wait()
+        if not breaker.is_open(span, now):
+            admitted.append(1)
+
+    workers = [threading.Thread(target=racer) for _ in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    return len(admitted)
+
+
+@given(
+    threads=st.integers(min_value=2, max_value=8),
+    failure_threshold=st.integers(min_value=1, max_value=5),
+    windows=st.integers(min_value=1, max_value=4),
+    probe_fails=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_exactly_one_probe_per_halfopen_window(
+    threads, failure_threshold, windows, probe_fails
+):
+    cooldown = 10.0
+    breaker = CircuitBreaker(
+        failure_threshold=failure_threshold, cooldown_seconds=cooldown
+    )
+    span = (b"a", b"b")
+    now = 0.0
+    for _ in range(failure_threshold):
+        breaker.record_failure(span, now)
+    assert breaker.is_open(span, now + cooldown / 2)
+
+    for window in range(1, windows + 1):
+        now += cooldown  # cooldown expiry: the half-open window opens
+        assert _race_is_open(breaker, span, now, threads) == 1
+        assert breaker.probes_admitted == window
+        # While the probe is in flight, everyone else keeps waiting.
+        assert _race_is_open(breaker, span, now + cooldown / 2, threads) == 0
+        if probe_fails and window < windows:
+            # One strike re-opens immediately; the loop's next cooldown
+            # expiry opens the next half-open window.
+            assert breaker.record_failure(span, now)
+        elif window < windows:
+            # An unresolved probe stops blocking after a further
+            # cooldown: the next window admits a fresh probe.
+            pass
+    assert breaker.probes_admitted == windows
+
+
+@given(threads=st.integers(min_value=2, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_probe_success_closes_for_everyone(threads):
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=5.0)
+    span = (None, b"m")
+    breaker.record_failure(span, 0.0)
+    breaker.record_failure(span, 0.0)
+    assert _race_is_open(breaker, span, 5.0, threads) == 1
+    breaker.record_success(span)
+    # Closed circuit: every concurrent caller is admitted.
+    assert _race_is_open(breaker, span, 6.0, threads) == threads
+    assert breaker.probes_admitted == 1
+
+
+@given(threads=st.integers(min_value=2, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_clear_probe_resolves_without_touching_other_spans(threads):
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=5.0)
+    probed = (b"a", b"b")
+    bystander = (b"b", b"c")
+    breaker.record_failure(probed, 0.0)
+    breaker.record_failure(probed, 0.0)
+    breaker.record_failure(bystander, 0.0)  # one strike of history
+    assert _race_is_open(breaker, probed, 5.0, threads) == 1
+    assert breaker.any_probing
+    breaker.clear_probe(probed)
+    breaker.clear_probe(bystander)  # no pending probe: must be a no-op
+    assert not breaker.any_probing
+    assert _race_is_open(breaker, probed, 5.5, threads) == threads
+    # The bystander's failure streak survived the probe bookkeeping.
+    breaker.record_failure(bystander, 6.0)
+    assert breaker.is_open(bystander, 6.5)

@@ -91,6 +91,14 @@ class TestClusterModel:
         with pytest.raises(KVStoreError):
             ClusterModel(self._table(), nodes=0)
 
+    def test_negative_row_cost_rejected(self):
+        with pytest.raises(KVStoreError):
+            ClusterModel(self._table(), nodes=2, row_cost=-1.0)
+
+    def test_negative_seek_cost_rejected(self):
+        with pytest.raises(KVStoreError):
+            ClusterModel(self._table(), nodes=2, seek_cost=-0.5)
+
     def test_full_scan_load_covers_all_rows(self):
         table = self._table()
         model = ClusterModel(table, nodes=4)
@@ -173,3 +181,29 @@ class TestClusterModel:
             n: [load.rows_scanned, load.range_seeks]
             for n, load in loads.items()
         } == expected
+
+    def test_mid_query_split_does_not_double_count(self):
+        """A region split landing between ranges of one simulated query
+        must not shift node assignment or count the split region's rows
+        both as the whole and as its halves: the model snapshots the
+        region list once per simulate_scan call."""
+        table = self._table(rows=100, max_region_rows=25)
+        model = ClusterModel(table, nodes=3)
+        full = [ScanRange(None, None), ScanRange(None, None)]
+        baseline = model.simulate_scan(full)
+
+        def ranges_with_midway_split():
+            yield ScanRange(None, None)
+            # Fault injection can force a split from inside region.scan;
+            # model it landing between the two ranges of this query.
+            table._split_region(0)
+            yield ScanRange(None, None)
+
+        loads = model.simulate_scan(ranges_with_midway_split())
+        total = sum(l.rows_scanned for l in loads.values())
+        assert total == sum(l.rows_scanned for l in baseline.values()) == 200
+        assert {
+            n: (l.rows_scanned, l.range_seeks) for n, l in loads.items()
+        } == {
+            n: (l.rows_scanned, l.range_seeks) for n, l in baseline.items()
+        }
