@@ -636,10 +636,12 @@ class TraSS:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory: str) -> None:
+    def save(self, directory: str, compact: bool = False) -> None:
         """Snapshot the engine's store into ``directory`` (plus the
-        heatmap + workload log when storage telemetry is on)."""
-        self.store.save(directory)
+        heatmap + workload log when storage telemetry is on).
+
+        ``compact=True`` writes regions as compressed mmap segments."""
+        self.store.save(directory, compact=compact)
         from repro.obs.workload_log import save_observability
 
         save_observability(self, directory)

@@ -416,16 +416,32 @@ class TrajectoryStore:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory: str) -> None:
-        """Snapshot the store (config + table) into a directory."""
+    def save(self, directory: str, compact: bool = False) -> None:
+        """Snapshot the store (config + table) into a directory.
+
+        ``compact=True`` writes regions as compressed mmap segments
+        (``.seg``) instead of plain SSTables — same entries, several
+        times fewer bytes, and lazily loadable.
+        """
         import json
         import os
 
         from repro.kvstore.persistence import save_table
 
-        save_table(self.table, directory)
+        save_table(self.table, directory, compact=compact)
         meta = {
             "key_encoding": self.key_encoding,
+            # Persisted statistics let `load` skip the full-table scan
+            # that would otherwise force every lazy segment block to
+            # materialise (they are ignored when a WAL tail exists —
+            # the table then differs from the snapshot they describe).
+            "stats": {
+                "trajectory_count": self.trajectory_count,
+                "value_histogram": {
+                    str(value): count
+                    for value, count in self.value_histogram.items()
+                },
+            },
             "config": {
                 "max_resolution": self.config.max_resolution,
                 "bounds": [
@@ -534,12 +550,26 @@ class TrajectoryStore:
         # the discarded empty table; rebind them to the restored one.
         store.executor = ParallelScanExecutor.from_config(store.table, config)
         store._wire_caches()
-        for key, value in store.table.full_scan():
-            record = store.decode_record(key, value)
-            store.trajectory_count += 1
-            store.value_histogram[record.index_value] = (
-                store.value_histogram.get(record.index_value, 0) + 1
-            )
+        stats = meta.get("stats")
+        if stats is not None and not os.path.exists(
+            os.path.join(directory, "wal.log")
+        ):
+            # The snapshot matches the table exactly (no WAL tail), so
+            # the persisted statistics are authoritative — restoring
+            # them keeps mmap segments lazy: no full-table scan, no
+            # block materialisation at load time.
+            store.trajectory_count = int(stats["trajectory_count"])
+            store.value_histogram = {
+                int(value): count
+                for value, count in stats["value_histogram"].items()
+            }
+        else:
+            for key, value in store.table.full_scan():
+                record = store.decode_record(key, value)
+                store.trajectory_count += 1
+                store.value_histogram[record.index_value] = (
+                    store.value_histogram.get(record.index_value, 0) + 1
+                )
         # Wired after the statistics rebuild scan above, so that scan
         # does not smear synthetic heat across the restored heatmap.
         store._wire_telemetry()

@@ -90,6 +90,16 @@ class CorruptSSTableError(FatalError, KVStoreError):
     """An SSTable failed its integrity check when opened or read."""
 
 
+class CorruptSegmentError(CorruptSSTableError):
+    """A compact segment failed an integrity check.
+
+    Raised when a segment's header/index is unreadable at open time, or
+    when a block fails its CRC/structure check as it is first
+    materialised — corruption in one block surfaces only when that
+    block is touched, every other block keeps serving (block-level
+    isolation)."""
+
+
 class RegionUnavailableError(TransientError):
     """A region (shard) refused a scan — the region-server is down,
     moving, or mid-recovery.  Carries the region's key span so circuit

@@ -16,10 +16,12 @@ compare them.
 from __future__ import annotations
 
 import abc
+import os
 from typing import List, Optional, Sequence, Tuple
 
 from repro.kvstore.lsm import LSMStore
 from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.segment import Segment, write_segment
 from repro.kvstore.sstable import SSTable
 
 
@@ -76,6 +78,48 @@ class SizeTieredPolicy(CompactionPolicy):
         return []
 
 
+def freeze_run(run, path: str) -> Segment:
+    """Rewrite one run 1:1 into a compact segment file.
+
+    Tombstones are preserved, so the segment shadows older runs exactly
+    the way the source run did — freezing is a representation change,
+    never a semantic one.
+    """
+    return write_segment(path, run.scan())
+
+
+class FreezeTier:
+    """Rewrites cold runs into mmap-backed compact segments.
+
+    The *oldest* run in a store is, by LSM construction, the coldest:
+    everything newer shadows it.  Once it is big enough to be worth the
+    rewrite (``min_bytes``) it is frozen in place — same position in
+    the run stack, same entries, compressed columnar bytes on disk.
+    """
+
+    def __init__(self, directory: str, min_bytes: int = 256 * 1024):
+        self.directory = directory
+        self.min_bytes = min_bytes
+        self._sequence = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def maybe_freeze(self, store: LSMStore) -> int:
+        """Freeze eligible cold runs in ``store``; returns runs frozen."""
+        frozen = 0
+        # Oldest-first; stop at the first run that is not cold enough.
+        for i in range(len(store.sstables) - 1, -1, -1):
+            run = store.sstables[i]
+            if isinstance(run, Segment):
+                continue  # already frozen
+            if run.size_bytes < self.min_bytes:
+                break
+            path = os.path.join(self.directory, f"frozen-{self._sequence:06d}.seg")
+            self._sequence += 1
+            store.sstables[i] = freeze_run(run, path)
+            frozen += 1
+        return frozen
+
+
 class CompactingLSMStore(LSMStore):
     """An :class:`LSMStore` driven by a pluggable compaction policy.
 
@@ -90,11 +134,17 @@ class CompactingLSMStore(LSMStore):
         self,
         flush_threshold: int = 4 * 1024 * 1024,
         policy: Optional[CompactionPolicy] = None,
+        freeze_dir: Optional[str] = None,
+        freeze_min_bytes: int = 256 * 1024,
     ):
         super().__init__(flush_threshold=flush_threshold, compaction_trigger=10**9)
         self.policy = policy if policy is not None else SizeTieredPolicy()
         self.bytes_written = 0
         self.bytes_ingested = 0
+        self.freeze_tier = (
+            FreezeTier(freeze_dir, freeze_min_bytes) if freeze_dir else None
+        )
+        self.frozen_count = 0
 
     # ------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> None:
@@ -114,6 +164,8 @@ class CompactingLSMStore(LSMStore):
         self.flush_count += 1
         self._record_flush(run.size_bytes, time.perf_counter() - started)
         self._policy_compact()
+        if self.freeze_tier is not None:
+            self.frozen_count += self.freeze_tier.maybe_freeze(self)
 
     def _policy_compact(self) -> None:
         while True:

@@ -130,6 +130,17 @@ class IOMetrics:
     #: row deliveries served from a shared batch scan beyond the first
     #: (each counts a row some query did *not* have to re-scan)
     batch_rows_shared: int = 0
+    # ------------------------------------------------------------------
+    # Compact mmap segments (the frozen read-optimized format).  The
+    # compressed/logical pair is what the advisor divides to report the
+    # live compression ratio of the bytes actually touched.
+    # ------------------------------------------------------------------
+    #: segment blocks decoded (lazy materialisation, counted once each)
+    segment_blocks_materialized: int = 0
+    #: on-disk (compressed) bytes of the blocks materialised
+    segment_bytes_compressed: int = 0
+    #: logical (uncompressed entry payload) bytes those blocks carry
+    segment_bytes_logical: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of the current counters."""

@@ -49,16 +49,19 @@ from repro.kvstore.faults import (
     CRASH_CHECKPOINT_REGION_TORN,
     CRASH_CHECKPOINT_WAL_TRUNCATE_PRE,
 )
+from repro.kvstore.segment import Segment, build_segment_bytes
 from repro.kvstore.sstable import SSTable
 from repro.kvstore.table import KVTable
 from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
 
 MANIFEST_NAME = "MANIFEST.json"
 WAL_NAME = "wal.log"
-#: version 2 added generation-numbered region files; version-1
-#: directories (un-numbered files) still load.
+#: version 2 added generation-numbered region files; version 3 added
+#: compact ``.seg`` region files (``save_table(compact=True)``).  Older
+#: directories still load.
 FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+COMPACT_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _encode_key(key: Optional[bytes]) -> Optional[str]:
@@ -105,37 +108,52 @@ def _sweep_stale_files(directory: str, keep: set) -> None:
     for name in os.listdir(directory):
         if name in keep or name == WAL_NAME or name == MANIFEST_NAME:
             continue
-        if name.endswith(".sst") or name == MANIFEST_NAME + ".tmp":
+        if (
+            name.endswith(".sst")
+            or name.endswith(".seg")
+            or name == MANIFEST_NAME + ".tmp"
+        ):
             try:
                 os.remove(os.path.join(directory, name))
             except OSError:  # pragma: no cover - best-effort sweep
                 pass
 
 
-def save_table(table: KVTable, directory: str, fault_injector=None) -> None:
+def save_table(
+    table: KVTable, directory: str, fault_injector=None, compact: bool = False
+) -> None:
     """Snapshot ``table`` into ``directory`` (created if missing).
 
     The checkpoint is atomic: until the manifest rename lands, a crash
     leaves the previous snapshot (and the WAL) untouched.
+
+    With ``compact=True`` each region is written as a compressed
+    columnar ``.seg`` file (format version 3) instead of a plain
+    ``.sst`` — the same entries, a fraction of the bytes, and loadable
+    lazily through ``mmap``.
     """
     os.makedirs(directory, exist_ok=True)
     injector = fault_injector
     generation = _current_generation(directory) + 1
+    suffix = "seg" if compact else "sst"
     regions = []
     for i, region in enumerate(table.regions):
-        filename = f"region-{generation:05d}-{i:05d}.sst"
+        filename = f"region-{generation:05d}-{i:05d}.{suffix}"
         path = os.path.join(directory, filename)
         if injector is not None:
             injector.crash_point(CRASH_CHECKPOINT_REGION_PRE)
-        run = SSTable.from_entries(region.store.scan())
+        if compact:
+            blob = build_segment_bytes(region.store.scan())
+        else:
+            blob = SSTable.from_entries(region.store.scan()).to_bytes()
         if injector is not None and injector.should_crash(
             CRASH_CHECKPOINT_REGION_TORN
         ):
-            blob = run.to_bytes()
             with open(path, "wb") as fh:
                 fh.write(blob[: max(1, len(blob) // 2)])
             injector.crash(CRASH_CHECKPOINT_REGION_TORN)
-        run.write_to(path)
+        with open(path, "wb") as fh:
+            fh.write(blob)
         _fsync_file(path)
         regions.append(
             {
@@ -145,7 +163,7 @@ def save_table(table: KVTable, directory: str, fault_injector=None) -> None:
             }
         )
     manifest = {
-        "format_version": FORMAT_VERSION,
+        "format_version": COMPACT_FORMAT_VERSION if compact else FORMAT_VERSION,
         "generation": generation,
         "name": table.name,
         "max_region_rows": table.max_region_rows,
@@ -222,7 +240,14 @@ def load_table(directory: str) -> KVTable:
             _decode_key(entry["end_key"]),
             manifest["flush_threshold"],
         )
-        run = SSTable.load(os.path.join(directory, entry["file"]))
+        path = os.path.join(directory, entry["file"])
+        if entry["file"].endswith(".seg"):
+            # Compact segment: mmap-backed, lazily materialised — the
+            # load touches only the header/index/bloom sections.
+            run = Segment.open(path)
+            table.adopt_segment(run)
+        else:
+            run = SSTable.load(path)
         region.store.sstables = [run]
         region.row_count = len(run)
         regions.append(region)

@@ -11,6 +11,7 @@ HFile role in HBase.
 from __future__ import annotations
 
 import bisect
+import mmap
 import struct
 import zlib
 from typing import Iterable, Iterator, List, Optional, Tuple
@@ -55,14 +56,37 @@ class SSTable:
         self.reads = 0
         self.bloom_negatives = 0
         self.bloom_false_positives = 0
-        self.size_bytes = 0
+        # The exact serialised size (what `to_bytes` will produce), so
+        # flush/compaction byte accounting matches bytes on disk.
+        self.size_bytes = _HEADER.size + 8  # + bloom length u32 + CRC32
         for key, value in zip(keys, values):
             self.bloom.add(key)
-            self.size_bytes += len(key)
+            self.size_bytes += _ENTRY_HEADER.size + len(key)
             if value is not TOMBSTONE:
                 self.size_bytes += len(value)  # type: ignore[arg-type]
+        self.size_bytes += 18 + (self.bloom.num_bits + 7) // 8
 
     # ------------------------------------------------------------------
+    @classmethod
+    def _assemble(
+        cls,
+        keys: List[bytes],
+        values: List[object],
+        bloom: BloomFilter,
+        size_bytes: int,
+    ) -> "SSTable":
+        """Fast path for CRC-verified data: no re-sort check, no bloom
+        rebuild — the persisted filter is adopted as-is."""
+        table = cls.__new__(cls)
+        table._keys = keys
+        table._values = values
+        table.bloom = bloom
+        table.size_bytes = size_bytes
+        table.reads = 0
+        table.bloom_negatives = 0
+        table.bloom_false_positives = 0
+        return table
+
     @staticmethod
     def from_entries(entries: Iterable[Entry]) -> "SSTable":
         """Build from an iterable already sorted by key."""
@@ -146,16 +170,35 @@ class SSTable:
         return body + struct.pack(">I", zlib.crc32(body))
 
     @staticmethod
-    def from_bytes(data: bytes) -> "SSTable":
-        """Deserialise and verify; raises :class:`CorruptSSTableError`."""
-        if len(data) < _HEADER.size + 4:
+    def from_bytes(data) -> "SSTable":
+        """Deserialise and verify; raises :class:`CorruptSSTableError`.
+
+        Accepts any bytes-like buffer (``bytes``, ``memoryview``, an
+        ``mmap``), so :meth:`load` can parse straight off the page
+        cache without first copying the whole file into a string.
+        """
+        size = len(data)
+        if size < _HEADER.size + 4:
             raise CorruptSSTableError("SSTable file truncated")
-        body, (crc,) = data[:-4], struct.unpack(">I", data[-4:])
+        (crc,) = struct.unpack_from(">I", data, size - 4)
+        body = memoryview(data)[: size - 4]
+        try:
+            return SSTable._parse_body(body, crc, size)
+        finally:
+            # Explicit release: a propagating CorruptSSTableError keeps
+            # the parse frame (and this view) alive via its traceback,
+            # which would make ``load``'s ``mmap.close()`` fail with
+            # BufferError.  Every parsed field is copied out, so the
+            # view is dead weight by now either way.
+            body.release()
+
+    @staticmethod
+    def _parse_body(body, crc: int, size: int) -> "SSTable":
         if zlib.crc32(body) != crc:
             raise CorruptSSTableError("SSTable checksum mismatch")
         magic, version, count = _HEADER.unpack_from(body, 0)
         if magic != _MAGIC:
-            raise CorruptSSTableError(f"bad magic {magic!r}")
+            raise CorruptSSTableError(f"bad magic {bytes(magic)!r}")
         if version != _VERSION:
             raise CorruptSSTableError(f"unsupported SSTable version {version}")
         offset = _HEADER.size
@@ -168,21 +211,25 @@ class SSTable:
             offset += _ENTRY_HEADER.size
             if offset + key_len + val_len > len(body):
                 raise CorruptSSTableError("entry data past end of file")
-            keys.append(body[offset : offset + key_len])
+            keys.append(bytes(body[offset : offset + key_len]))
             offset += key_len
             if flag:
                 values.append(TOMBSTONE)
             else:
-                values.append(body[offset : offset + val_len])
+                values.append(bytes(body[offset : offset + val_len]))
                 offset += val_len
-        table = SSTable(keys, values)
-        # The bloom filter is rebuilt by the constructor; the stored one
-        # is only read to validate the section framing.
         (bloom_len,) = struct.unpack_from(">I", body, offset)
         offset += 4
         if offset + bloom_len != len(body):
             raise CorruptSSTableError("bloom filter section length mismatch")
-        return table
+        # Adopt the persisted bloom filter instead of re-hashing every
+        # key (the bytes are already CRC-protected with the rest of the
+        # file).
+        try:
+            bloom = BloomFilter.from_bytes(bytes(body[offset : offset + bloom_len]))
+        except KVStoreError as exc:
+            raise CorruptSSTableError(f"corrupt bloom filter: {exc}") from exc
+        return SSTable._assemble(keys, values, bloom, size)
 
     def write_to(self, path: str) -> None:
         with open(path, "wb") as fh:
@@ -190,5 +237,14 @@ class SSTable:
 
     @staticmethod
     def load(path: str) -> "SSTable":
+        """Load via ``mmap``: entries are parsed straight off the page
+        cache rather than through a full in-heap copy of the file."""
         with open(path, "rb") as fh:
-            return SSTable.from_bytes(fh.read())
+            try:
+                mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # zero-length file
+                raise CorruptSSTableError(f"SSTable file empty: {path}") from exc
+            try:
+                return SSTable.from_bytes(mapped)
+            finally:
+                mapped.close()

@@ -267,6 +267,9 @@ IO_METRIC_NAMES: Dict[str, str] = {
     "record_cache_misses": "trass.cache.record.misses",
     "plan_cache_hits": "trass.cache.plan.hits",
     "plan_cache_misses": "trass.cache.plan.misses",
+    "segment_blocks_materialized": "trass.storage.segment.blocks_materialized",
+    "segment_bytes_compressed": "trass.storage.segment.bytes_compressed_read",
+    "segment_bytes_logical": "trass.storage.segment.bytes_logical_read",
 }
 
 

@@ -186,6 +186,8 @@ def collect_storage_stats(engine) -> Dict[str, Any]:
     compaction_count = compaction_bytes = 0
     flush_seconds = compaction_seconds = 0.0
     bloom_reads = bloom_negatives = bloom_false_positives = 0
+    segment_count = segment_file_bytes = segment_logical_bytes = 0
+    segment_blocks = segment_blocks_materialized = 0
     seek_hist = FixedBucketCounts(SEEK_DEPTH_BUCKETS)
     for region in table.regions:
         store = region.store
@@ -212,6 +214,14 @@ def collect_storage_stats(engine) -> Dict[str, Any]:
             bloom_reads += run.reads
             bloom_negatives += run.bloom_negatives
             bloom_false_positives += run.bloom_false_positives
+            # Compact mmap segments (duck-detected: only they carry a
+            # logical-vs-physical byte split).
+            if hasattr(run, "logical_bytes"):
+                segment_count += 1
+                segment_file_bytes += run.size_bytes
+                segment_logical_bytes += run.logical_bytes
+                segment_blocks += run.num_blocks
+                segment_blocks_materialized += run.blocks_materialized
 
     bloom_passes = bloom_reads - bloom_negatives
     io = engine.metrics.snapshot()
@@ -227,6 +237,18 @@ def collect_storage_stats(engine) -> Dict[str, Any]:
             "runs_total": sum(runs_per_region),
             "runs_per_region": runs_per_region,
             "max_runs": max(runs_per_region) if runs_per_region else 0,
+        },
+        "segments": {
+            "count": segment_count,
+            "file_bytes": segment_file_bytes,
+            "logical_bytes": segment_logical_bytes,
+            "compression_ratio": (
+                segment_logical_bytes / segment_file_bytes
+                if segment_file_bytes
+                else 0.0
+            ),
+            "blocks": segment_blocks,
+            "blocks_materialized": segment_blocks_materialized,
         },
         "bloom": {
             "reads": bloom_reads,
@@ -337,6 +359,37 @@ def update_storage_registry(registry, engine) -> None:
         "trass.storage.read_amplification",
         "rows scanned per row returned",
         stats["read_amplification"],
+    )
+    segments = stats["segments"]
+    g(
+        "trass.storage.segment.count",
+        "compact mmap segments across all regions",
+        segments["count"],
+    )
+    g(
+        "trass.storage.segment.file_bytes",
+        "on-disk bytes held in compact segments",
+        segments["file_bytes"],
+    )
+    g(
+        "trass.storage.segment.logical_bytes",
+        "uncompressed entry bytes those segments represent",
+        segments["logical_bytes"],
+    )
+    g(
+        "trass.storage.segment.compression_ratio",
+        "logical bytes per on-disk byte across segments",
+        segments["compression_ratio"],
+    )
+    g(
+        "trass.storage.segment.blocks",
+        "total blocks across compact segments",
+        segments["blocks"],
+    )
+    g(
+        "trass.storage.segment.blocks_resident",
+        "segment blocks currently materialised",
+        segments["blocks_materialized"],
     )
 
     # Histograms: replace state wholesale so repeated refreshes cannot

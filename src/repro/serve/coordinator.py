@@ -48,6 +48,7 @@ from repro.exceptions import (
     QueryError,
     ShardUnavailableError,
 )
+from repro.geometry.trajectory import Trajectory
 from repro.index.ranges import IndexRange
 from repro.kvstore.rowkey import shard_of
 from repro.kvstore.table import ScanRange
@@ -169,6 +170,7 @@ class ServingCluster:
         breaker_failure_threshold: int = 3,
         breaker_cooldown_seconds: float = 5.0,
         tracer=None,
+        segment_dir: Optional[str] = None,
     ):
         if partitions < 1:
             raise ClusterError(f"partitions must be >= 1, got {partitions}")
@@ -232,6 +234,23 @@ class ServingCluster:
         ]
         for tid, points in trajectories:
             slices[self._partition_of(tid)].append((tid, points))
+        # Shared-memory serving: materialise each partition's slice
+        # once as a compact-segment store on disk; every replica of the
+        # partition then opens the *same* files read-only via mmap, so
+        # the page cache holds one copy of the data regardless of the
+        # replication factor (instead of R private in-heap copies).
+        store_dirs: List[Optional[str]] = [None] * partitions
+        if segment_dir is not None:
+            import os
+
+            for p in range(partitions):
+                slice_engine = TraSS(config, key_encoding)
+                slice_engine.add_all(
+                    Trajectory(tid, points) for tid, points in slices[p]
+                )
+                path = os.path.join(segment_dir, f"partition-{p:03d}")
+                slice_engine.save(path, compact=True)
+                store_dirs[p] = path
         fault_schedules = fault_schedules or {}
         self._specs: List[List[WorkerSpec]] = []
         for p in range(partitions):
@@ -243,9 +262,10 @@ class ServingCluster:
                         replica=r,
                         config=config,
                         key_encoding=key_encoding,
-                        trajectories=slices[p],
+                        trajectories=[] if store_dirs[p] else slices[p],
                         owned_salts=self.owned_salts(p),
                         fault_schedule=fault_schedules.get(p),
+                        store_dir=store_dirs[p],
                     )
                 )
             self._specs.append(replica_specs)

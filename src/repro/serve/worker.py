@@ -67,14 +67,24 @@ class WorkerSpec:
     #: in-process SimulatedCrash becomes an os._exit), which is how
     #: chaos drills kill shards deterministically mid-workload
     fault_schedule: Optional[FaultSchedule] = field(default=None)
+    #: when set, the worker loads its slice from this saved store
+    #: directory instead of rebuilding from ``trajectories``.  All
+    #: replicas of a partition point at the *same* compact-segment
+    #: files, which they then map read-only — the kernel page cache
+    #: holds one copy of every block no matter how many replicas serve
+    #: it (the shared-memory serving mode).
+    store_dir: Optional[str] = field(default=None)
 
 
 def build_worker_engine(spec: WorkerSpec) -> TraSS:
     """Materialise the partition's engine from its spec."""
-    engine = TraSS(spec.config, spec.key_encoding)
-    engine.add_all(
-        Trajectory(tid, points) for tid, points in spec.trajectories
-    )
+    if spec.store_dir is not None:
+        engine = TraSS.load(spec.store_dir)
+    else:
+        engine = TraSS(spec.config, spec.key_encoding)
+        engine.add_all(
+            Trajectory(tid, points) for tid, points in spec.trajectories
+        )
     if spec.fault_schedule is not None:
         engine.install_fault_injector(FaultInjector(spec.fault_schedule))
     return engine

@@ -10,6 +10,7 @@ crash land in a worker's FIFO at an exact queue position), not from
 racing real kills against real queries.
 """
 
+import os
 import random
 import threading
 import time
@@ -395,3 +396,75 @@ class TestValidationAndObservability:
         assert registry.get("trass.serve.partitions").value == 2
         exposition = registry.to_prometheus()
         assert "trass_serve_requests" in exposition.replace(".", "_")
+
+
+@pytest.mark.segment
+class TestSegmentSharing:
+    """Shared-memory serving: with ``segment_dir`` set, every replica of
+    a partition mmaps the *same* compact segment files, so the kernel
+    page cache holds one physical copy of the cold data regardless of
+    replication factor."""
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self"), reason="requires Linux procfs"
+    )
+    def test_replicas_mmap_share_segments(self, engine, dataset, tmp_path):
+        seg_root = str(tmp_path / "segments")
+        with ServingCluster.from_engine(
+            engine,
+            partitions=2,
+            replication=2,
+            segment_dir=seg_root,
+        ) as cluster:
+            # Answers stay bit-identical to the single-process engine.
+            for q in dataset[:4]:
+                local = engine.threshold_search(q, EPS)
+                served = cluster.threshold_search(q, EPS)
+                assert served.answers == local.answers
+
+            for partition in range(2):
+                mapped = []
+                for handle in cluster._replicas[partition]:
+                    pid = handle.process.pid
+                    with open(f"/proc/{pid}/maps") as fh:
+                        segs = sorted(
+                            {
+                                line.split()[-1]
+                                for line in fh
+                                if line.rstrip().endswith(".seg")
+                            }
+                        )
+                    mapped.append(segs)
+                # Every replica mapped at least one segment file, and
+                # all replicas of the partition map the SAME files.
+                assert mapped[0], "worker did not mmap any segment"
+                assert all(m == mapped[0] for m in mapped)
+                assert all(p.startswith(seg_root) for p in mapped[0])
+
+    @pytest.mark.skipif(
+        not os.path.exists("/proc/self/smaps"),
+        reason="requires /proc/<pid>/smaps",
+    )
+    def test_segment_mappings_have_no_private_dirty(self, engine, dataset, tmp_path):
+        """Read-only segment mappings never dirty pages: all resident
+        bytes are shared page-cache pages, not per-process copies."""
+        seg_root = str(tmp_path / "segments")
+        with ServingCluster.from_engine(
+            engine, partitions=1, replication=2, segment_dir=seg_root
+        ) as cluster:
+            for q in dataset[:4]:
+                cluster.threshold_search(q, EPS)
+            for handle in cluster._replicas[0]:
+                pid = handle.process.pid
+                with open(f"/proc/{pid}/smaps") as fh:
+                    smaps = fh.read()
+                dirty = []
+                current = None
+                for line in smaps.splitlines():
+                    if line.rstrip().endswith(".seg"):
+                        current = line.split()[-1]
+                    elif current and line.startswith("Private_Dirty:"):
+                        dirty.append((current, int(line.split()[1])))
+                        current = None
+                assert dirty, "no .seg mapping found in smaps"
+                assert all(kb == 0 for _, kb in dirty), dirty
