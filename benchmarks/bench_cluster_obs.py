@@ -1,0 +1,128 @@
+"""Cluster-observability overhead: the <= 5% warm-p50 gate.
+
+Two identical clusters serve the same warm single-query workload, one
+bare and one with the full observability stack on (recording tracer,
+trace propagation on every request, reply-delta aggregation, SLO
+histograms).  Samples interleave off/on query-by-query so drift on a
+busy host hits both sides equally, and the gate compares warm *p50*
+latencies — medians, because a 1-CPU CI machine produces heavy tails
+that have nothing to do with the code under test.  A small absolute
+floor keeps the relative gate meaningful when queries are
+sub-millisecond.
+
+Answers are asserted identical between the two clusters on every
+sample — the overhead run doubles as one more byte-identity drill.
+
+A JSON report is printed and, when ``REPRO_BENCH_JSON`` names a file,
+appended there (the CI job uploads it as ``BENCH_cluster_obs.json``).
+"""
+
+import json
+import os
+import statistics
+import time
+
+from repro.bench.reporting import print_table
+from repro.obs import Tracer
+from repro.serve import ServingCluster
+
+#: relative overhead allowed on the warm p50 (the CI gate)
+MAX_OVERHEAD = 0.05
+#: absolute slack: relative gates degenerate on sub-ms medians
+ABS_FLOOR_SECONDS = 0.002
+EPS = 0.005
+WARMUP = 4
+SAMPLES = 40
+
+
+def _sample(cluster, query):
+    started = time.perf_counter()
+    result = cluster.threshold_search(query, EPS)
+    return time.perf_counter() - started, sorted(result.answers.items())
+
+
+def test_cluster_observability_overhead(lorry_engine, lorry_queries):
+    engine = lorry_engine
+    queries = lorry_queries
+    tracer = Tracer()
+    with ServingCluster.from_engine(engine, partitions=2) as off, (
+        ServingCluster.from_engine(
+            engine, partitions=2, observability=True, tracer=tracer
+        )
+    ) as on:
+        for q in queries[:WARMUP]:
+            _sample(off, q)
+            _sample(on, q)
+        off_seconds, on_seconds = [], []
+        for i in range(SAMPLES):
+            query = queries[i % len(queries)]
+            # Interleave, alternating which side goes first so cache
+            # and scheduler drift cannot systematically favour one.
+            if i % 2 == 0:
+                t_off, a_off = _sample(off, query)
+                t_on, a_on = _sample(on, query)
+            else:
+                t_on, a_on = _sample(on, query)
+                t_off, a_off = _sample(off, query)
+            assert a_on == a_off, (
+                f"observability changed answers for query {i}"
+            )
+            off_seconds.append(t_off)
+            on_seconds.append(t_on)
+        snapshot = on.stats()["observability"]
+
+    # The observed side really did the observability work.
+    assert snapshot["slo"]["summaries"]["query"]["count"] >= SAMPLES
+    assert len(tracer.traces()) >= SAMPLES
+    assert snapshot["cluster_io"]["rows_scanned"] > 0
+
+    p50_off = statistics.median(off_seconds)
+    p50_on = statistics.median(on_seconds)
+    overhead = (p50_on - p50_off) / p50_off if p50_off > 0 else 0.0
+    budget = p50_off * (1.0 + MAX_OVERHEAD) + ABS_FLOOR_SECONDS
+
+    print_table(
+        ["observability", "warm p50 ms", "warm p95 ms"],
+        [
+            ["off", p50_off * 1000, _p95(off_seconds) * 1000],
+            ["on", p50_on * 1000, _p95(on_seconds) * 1000],
+        ],
+        title="cluster observability overhead (interleaved)",
+    )
+    _emit_json(
+        {
+            "cluster_observability_overhead": {
+                "samples": SAMPLES,
+                "eps": EPS,
+                "p50_off_seconds": p50_off,
+                "p50_on_seconds": p50_on,
+                "p95_off_seconds": _p95(off_seconds),
+                "p95_on_seconds": _p95(on_seconds),
+                "overhead_ratio": overhead,
+                "max_overhead_ratio": MAX_OVERHEAD,
+                "abs_floor_seconds": ABS_FLOOR_SECONDS,
+                "gate_budget_seconds": budget,
+                "passed_gate": p50_on <= budget,
+                "cpu_count": os.cpu_count(),
+            }
+        }
+    )
+    assert p50_on <= budget, (
+        f"observability overhead {overhead:.1%} on warm p50 "
+        f"({p50_on * 1000:.2f} ms vs {p50_off * 1000:.2f} ms) exceeds "
+        f"{MAX_OVERHEAD:.0%} + {ABS_FLOOR_SECONDS * 1000:.0f} ms floor"
+    )
+
+
+def _p95(samples):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _emit_json(report: dict) -> None:
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print(payload)
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path:
+        with open(path, "a") as fh:
+            fh.write(payload + "\n")

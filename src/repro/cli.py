@@ -257,16 +257,47 @@ def _explain(args: argparse.Namespace) -> int:
 
 
 def _trace(args: argparse.Namespace) -> int:
-    """Run one query under tracing and print the raw span tree."""
+    """Run one query under tracing and print the raw span tree.
+
+    With ``--cluster N`` the query scatter-gathers through N shard
+    workers and the printed tree is the *stitched* cross-process trace:
+    coordinator spans with each worker's shipped span subtree grafted
+    under its ``serve.partition`` node.
+    """
     engine = _load_engine(args)
     query = _resolve_query(engine, args)
     if (args.eps is None) == (args.k is None):
         raise ReproError("provide exactly one of --eps or --k")
-    with engine.traced() as tracer:
-        if args.eps is not None:
-            engine.threshold_search(query, args.eps, measure=args.measure)
-        else:
-            engine.topk_search(query, args.k, measure=args.measure)
+    if getattr(args, "cluster", None):
+        from repro.serve import ServingCluster
+
+        tracer = engine.make_tracer()
+        cluster = ServingCluster.from_engine(
+            engine,
+            partitions=args.cluster,
+            replication=args.replication,
+            tracer=tracer,
+            observability=True,
+        ).start()
+        engine.set_remote_executor(cluster)
+        try:
+            if args.eps is not None:
+                engine.threshold_search(
+                    query, args.eps, measure=args.measure
+                )
+            else:
+                engine.topk_search(query, args.k, measure=args.measure)
+        finally:
+            engine.set_remote_executor(None)
+            cluster.stop()
+    else:
+        with engine.traced() as tracer:
+            if args.eps is not None:
+                engine.threshold_search(
+                    query, args.eps, measure=args.measure
+                )
+            else:
+                engine.topk_search(query, args.k, measure=args.measure)
     root = tracer.traces()[-1]
     if args.json:
         import json
@@ -313,9 +344,39 @@ def _stats(args: argparse.Namespace) -> int:
     record and plan caches, the second shows their steady-state hit
     rates — so the numbers reflect a warmed store, the regime the
     caches exist for.
+
+    ``--cluster N`` routes the probe workload through N shard workers
+    with cluster observability on, so the JSON/Prometheus output
+    describes the whole cluster (per-worker IO, SLO histograms, error
+    budget) in one dump.  ``--prometheus`` prints the text exposition
+    format instead of the human report.
     """
     engine = _load_engine(args)
     cfg = engine.config
+    cluster = None
+    if getattr(args, "cluster", None):
+        from repro.serve import ServingCluster
+
+        cluster = ServingCluster.from_engine(
+            engine,
+            partitions=args.cluster,
+            replication=args.replication,
+            observability=True,
+        ).start()
+        engine.set_remote_executor(cluster)
+    try:
+        return _stats_report(engine, cluster, args, cfg)
+    finally:
+        if cluster is not None:
+            engine.set_remote_executor(None)
+            cluster.stop()
+
+
+def _stats_report(engine, cluster, args, cfg) -> int:
+    if args.prometheus:
+        _run_probe_workload(engine, args.probes, args.eps)
+        print(engine.export_metrics("prometheus"))
+        return 0
     if args.json:
         import json
 
@@ -327,6 +388,8 @@ def _stats(args: argparse.Namespace) -> int:
             "plan_cache_size": cfg.plan_cache_size,
             "storage_telemetry": cfg.storage_telemetry,
         }
+        if cluster is not None:
+            payload["cluster"] = cluster.stats()
         print(json.dumps(payload, indent=2, default=str))
         return 0
     print(f"store:            {args.store}")
@@ -731,6 +794,7 @@ def _serve(args: argparse.Namespace) -> int:
         hedge_delay_seconds=args.hedge_delay,
         degraded_mode=args.degraded,
         admission=admission,
+        observability=args.obs,
     )
     started = time.perf_counter()
     with cluster:
@@ -738,6 +802,7 @@ def _serve(args: argparse.Namespace) -> int:
         run_started = time.perf_counter()
         served = cluster.threshold_search_many(queries, args.eps)
         wall = time.perf_counter() - run_started
+        findings = cluster.doctor() if args.obs else []
         stats = cluster.stats()
     expected = engine.threshold_search_many(queries, args.eps)
     matches = sum(
@@ -758,6 +823,10 @@ def _serve(args: argparse.Namespace) -> int:
             "workload_seconds": wall,
             "stats": stats,
         }
+        if args.obs:
+            obs_snapshot = stats.get("observability", {})
+            payload["slo"] = obs_snapshot.get("slo", {})
+            payload["doctor"] = [f.to_json() for f in findings]
         print(json.dumps(payload, indent=2, default=str))
         return 0 if matches == len(queries) else 1
 
@@ -790,6 +859,23 @@ def _serve(args: argparse.Namespace) -> int:
         f"{admission_stats['rejected_quota']} rejected (quota), "
         f"{admission_stats['rejected_queue_depth']} rejected (queue depth)"
     )
+    if args.obs:
+        slo = stats.get("observability", {}).get("slo", {})
+        query_slo = slo.get("summaries", {}).get("query", {})
+        budget = slo.get("error_budget", {})
+        print(
+            f"  slo:           query p50 "
+            f"{query_slo.get('p50', 0.0) * 1000:.1f} ms, p95 "
+            f"{query_slo.get('p95', 0.0) * 1000:.1f} ms, p99 "
+            f"{query_slo.get('p99', 0.0) * 1000:.1f} ms; error-budget "
+            f"burn {budget.get('burn_rate', 0.0):.2f}x"
+        )
+        if findings:
+            print(f"  doctor:        {len(findings)} finding(s)")
+            for finding in findings:
+                print(f"    [{finding.severity}] {finding.title}")
+        else:
+            print("  doctor:        no findings")
     if matches == len(queries):
         print("EXACT: served answers match the single-process engine")
         return 0
@@ -955,6 +1041,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_query_args(trace)
     add_trace_args(trace)
+    trace.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route the query through N shard workers and stitch the "
+        "coordinator and worker spans into one cross-process trace",
+    )
+    trace.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="replicas per shard worker (with --cluster)",
+    )
     trace.set_defaults(func=_trace)
 
     range_ = sub.add_parser("range", help="spatial range query")
@@ -987,6 +1087,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full stats bundle (including the storage "
         "section) as JSON",
+    )
+    stats.add_argument(
+        "--cluster",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route the probe workload through N shard workers and "
+        "include the cluster-wide observability snapshot",
+    )
+    stats.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="replicas per shard worker (with --cluster)",
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of the "
+        "human report (covers the whole cluster with --cluster)",
     )
     add_perf_args(stats)
     stats.set_defaults(func=_stats)
@@ -1175,6 +1295,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="return partial answers (with exact skipped-range "
         "accounting) when a whole partition is unreachable",
+    )
+    serve.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable cluster observability: SLO histograms, per-worker "
+        "metrics aggregation and the serving doctor",
     )
     serve.add_argument(
         "--tenant-rate",

@@ -207,10 +207,15 @@ class TraSS:
         result,
         measure: Optional[str] = None,
         io_before: Optional[Dict[str, int]] = None,
+        origin: str = "local",
+        fanout=None,
     ) -> None:
         """Per-query bookkeeping: latency histogram, query counters,
         the slow-query log, the workload recorder and heat decay.  Pure
-        read-model — never touches IOMetrics."""
+        read-model — never touches IOMetrics.  Cluster-routed queries
+        pass ``origin="cluster"`` plus the coordinator's per-partition
+        fan-out attribution, so slow entries name the shard/replica
+        that served (or stalled) them."""
         self.registry.histogram(
             "trass.query.seconds", "query wall time in seconds"
         ).observe(seconds)
@@ -225,6 +230,8 @@ class TraSS:
             candidates=result.candidates,
             answers=len(result.answers),
             completeness=result.completeness,
+            origin=origin,
+            fanout=fanout,
         )
         recorder = self._workload_recorder
         if recorder is not None and recorder.enabled and io_before is not None:
@@ -292,8 +299,17 @@ class TraSS:
 
     def export_metrics(self, fmt: str = "json"):
         """Refresh the metrics registry from current engine state and
-        export it (``"json"`` dict or ``"prometheus"`` text)."""
+        export it (``"json"`` dict or ``"prometheus"`` text).  With a
+        remote executor attached, the cluster's aggregated metrics
+        (``trass.serve.*`` — per-worker deltas, SLO histograms, rollups)
+        land in the same dump, so one scrape describes the cluster."""
         update_registry_from_engine(self.registry, self)
+        if self._remote_executor is not None:
+            from repro.obs.registry import update_registry_from_cluster
+
+            update_registry_from_cluster(
+                self.registry, self._remote_executor
+            )
         if fmt == "json":
             return self.registry.to_json()
         if fmt in ("prometheus", "prom", "text"):
@@ -332,9 +348,20 @@ class TraSS:
         be index-pruned; they are answered by a verified full scan.
         """
         if self._remote_executor is not None:
-            return self._remote_executor.threshold_search(
-                query, eps, measure=measure
+            remote = self._remote_executor
+            started = time.perf_counter()
+            result = remote.threshold_search(query, eps, measure=measure)
+            self._observe_query(
+                "threshold",
+                query,
+                eps,
+                time.perf_counter() - started,
+                result,
+                measure=measure,
+                origin="cluster",
+                fanout=getattr(remote, "last_fanout", None),
             )
+            return result
         resolved = self._resolve_measure(measure)
         tracer = self._tracer
         io_before = self._io_before_query()
@@ -377,7 +404,20 @@ class TraSS:
         full scan (the index's geometric bounds do not bound them).
         """
         if self._remote_executor is not None:
-            return self._remote_executor.topk_search(query, k, measure=measure)
+            remote = self._remote_executor
+            started = time.perf_counter()
+            result = remote.topk_search(query, k, measure=measure)
+            self._observe_query(
+                "topk",
+                query,
+                k,
+                time.perf_counter() - started,
+                result,
+                measure=measure,
+                origin="cluster",
+                fanout=getattr(remote, "last_fanout", None),
+            )
+            return result
         resolved = self._resolve_measure(measure)
         tracer = self._tracer
         io_before = self._io_before_query()
@@ -433,9 +473,34 @@ class TraSS:
         deltas are meaningless under a shared scan.
         """
         if self._remote_executor is not None:
-            return self._remote_executor.threshold_search_many(
+            remote = self._remote_executor
+            queries = list(queries)
+            try:
+                eps_list = [float(e) for e in eps]
+            except TypeError:
+                eps_list = [float(eps)] * len(queries)
+            started = time.perf_counter()
+            results = remote.threshold_search_many(
                 queries, eps, measure=measure
             )
+            per_query = (
+                (time.perf_counter() - started) / len(queries)
+                if queries
+                else 0.0
+            )
+            for query, eps_value, result in zip(
+                queries, eps_list, results
+            ):
+                self._observe_query(
+                    "threshold",
+                    query,
+                    eps_value,
+                    per_query,
+                    result,
+                    measure=measure,
+                    origin="cluster",
+                )
+            return results
         queries = list(queries)
         try:
             eps_list = [float(e) for e in eps]
@@ -502,9 +567,26 @@ class TraSS:
         stay mode-agnostic.
         """
         if self._remote_executor is not None:
-            return self._remote_executor.topk_search_many(
-                queries, k, measure=measure
+            remote = self._remote_executor
+            queries = list(queries)
+            started = time.perf_counter()
+            results = remote.topk_search_many(queries, k, measure=measure)
+            per_query = (
+                (time.perf_counter() - started) / len(queries)
+                if queries
+                else 0.0
             )
+            for query, result in zip(queries, results):
+                self._observe_query(
+                    "topk",
+                    query,
+                    k,
+                    per_query,
+                    result,
+                    measure=measure,
+                    origin="cluster",
+                )
+            return results
         return [self.topk_search(q, k, measure=measure) for q in queries]
 
     # ------------------------------------------------------------------

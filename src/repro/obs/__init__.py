@@ -27,6 +27,7 @@ from repro.obs.tracing import (
     Span,
     Tracer,
     format_span_tree,
+    graft_span_dict,
 )
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "Tracer",
     "explain_analyze",
     "format_span_tree",
+    "graft_span_dict",
     "parse_prometheus",
     "update_registry_from_cluster",
     "update_registry_from_engine",

@@ -135,6 +135,18 @@ class Histogram:
         self.sum = float(sum_)
         self.count = int(count)
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Element-wise accumulation of another histogram with the same
+        bucket layout (cluster rollups sum worker histograms)."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name} buckets differ from {other.name}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
     def cumulative_counts(self) -> List[int]:
         out: List[int] = []
         running = 0
@@ -142,6 +154,44 @@ class Histogram:
             running += c
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0 < q <= 1) by linear
+        interpolation inside the covering bucket — the
+        ``histogram_quantile`` convention, computed locally.
+
+        ``None`` on an empty histogram.  Observations in the ``+Inf``
+        overflow bucket clamp to the top finite bound (the estimate is
+        then a lower bound, exactly as in Prometheus).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                if i >= len(self.buckets):
+                    return self.buckets[-1]
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = self.buckets[i]
+                return lo + (hi - lo) * ((rank - seen) / c)
+            seen += c
+        return self.buckets[-1]
+
+    def summary(self) -> Dict[str, Any]:
+        """count / sum / mean plus p50, p95 and p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": (self.sum / self.count) if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -369,6 +419,53 @@ def update_registry_from_cluster(registry: MetricsRegistry, cluster) -> None:
         "trass.serve.admission.rejected_queue_depth",
         "requests shed by queue-depth limit",
     ).set_to(admission["rejected_queue_depth"])
+
+    # Cluster-wide aggregation (present when the cluster runs with
+    # observability): coordinator SLO histograms and error budget,
+    # per-worker IOMetrics deltas and their cluster rollup.  State is
+    # overwritten, not observed, so repeated refreshes cannot
+    # double-count.
+    obs = stats.get("observability")
+    if not obs:
+        return
+    for key, data in obs["slo"]["histograms"].items():
+        hist = registry.histogram(
+            f"trass.serve.slo.{key}_seconds",
+            data.get("help", f"cluster SLO: {key} seconds"),
+            buckets=data["buckets"],
+        )
+        hist.set_state(data["counts"], data["sum"], data["count"])
+    budget = obs["slo"]["error_budget"]
+    registry.counter(
+        "trass.serve.slo.good_events",
+        "queries that met the latency objective completely",
+    ).set_to(budget["good_events"])
+    registry.counter(
+        "trass.serve.slo.bad_events",
+        "queries that missed the objective or skipped ranges",
+    ).set_to(budget["bad_events"])
+    registry.gauge(
+        "trass.serve.slo.error_budget_burn",
+        "bad-event rate over the allowed rate (burn > 1 overspends)",
+    ).set(budget["burn_rate"])
+    for worker in obs["workers"]:
+        prefix = (
+            f"trass.serve.worker.{worker['partition']}.{worker['replica']}"
+        )
+        registry.counter(
+            f"{prefix}.queries",
+            "successful query replies from this worker slot",
+        ).set_to(worker["queries"])
+        for field, value in sorted(worker["io"].items()):
+            registry.counter(
+                f"{prefix}.{field}",
+                f"worker slot IO delta total: {field}",
+            ).set_to(value)
+    for field, value in sorted(obs["cluster_io"].items()):
+        registry.counter(
+            f"trass.serve.cluster.io.{field}",
+            f"cluster-wide IO rollup: {field}",
+        ).set_to(value)
 
 
 _PROM_LINE_RE = re.compile(

@@ -13,8 +13,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,13 @@ class SlowQueryEntry:
     completeness: float
     #: wall-clock time of record (epoch seconds)
     timestamp: float = field(default_factory=time.time)
+    #: where the query executed: "local" (this process) or "cluster"
+    #: (scatter-gathered through a serving coordinator)
+    origin: str = "local"
+    #: for cluster queries, one dict per partition touched —
+    #: ``{"partition", "replica", "attempts", "hedged", "reached"}`` —
+    #: so a slow entry names which shard/replica served (or stalled) it
+    fanout: Optional[Tuple[Dict[str, Any], ...]] = None
 
 
 class SlowQueryLog:
@@ -63,6 +70,8 @@ class SlowQueryLog:
         candidates: int,
         answers: int,
         completeness: float = 1.0,
+        origin: str = "local",
+        fanout: Optional[List[Dict[str, Any]]] = None,
     ) -> bool:
         """Record the query if it breaches the threshold; returns
         whether it was logged."""
@@ -77,6 +86,8 @@ class SlowQueryLog:
             candidates=candidates,
             answers=answers,
             completeness=completeness,
+            origin=origin,
+            fanout=tuple(dict(f) for f in fanout) if fanout else None,
         )
         with self._lock:
             self._entries.append(entry)
@@ -96,3 +107,19 @@ class SlowQueryLog:
 
     def to_json(self) -> List[Dict[str, Any]]:
         return [asdict(entry) for entry in self.entries()]
+
+    def restore_from_json(self, data: List[Dict[str, Any]]) -> None:
+        """Refill the ring buffer from :meth:`to_json` output (oldest
+        first).  Unknown keys — newer snapshots read by older code —
+        are ignored; the capacity bound still applies."""
+        known = {f.name for f in fields(SlowQueryEntry)}
+        entries = []
+        for raw in data:
+            kwargs = {k: v for k, v in raw.items() if k in known}
+            fanout = kwargs.get("fanout")
+            if fanout is not None:
+                kwargs["fanout"] = tuple(dict(f) for f in fanout)
+            entries.append(SlowQueryEntry(**kwargs))
+        with self._lock:
+            self._entries.clear()
+            self._entries.extend(entries)

@@ -197,6 +197,44 @@ class Span:
         return [span for span in self.walk() if span.name == name]
 
 
+def graft_span_dict(
+    tracer: "Tracer",
+    data: Dict[str, Any],
+    parent: Optional["Span"] = None,
+) -> "Span":
+    """Rebuild a serialised span subtree (:meth:`Span.to_dict` output)
+    and graft it under ``parent`` (or as a new root when ``None``).
+
+    This is the coordinator half of cross-process trace propagation:
+    workers ship their completed subtrees as plain dicts over the pipe
+    and the coordinator stitches them into its own tree.  Durations are
+    carried verbatim as overrides (worker clocks — virtual time under
+    fault injection — never mix with the coordinator's clock), so a
+    stitched chaos trace stays a deterministic function of
+    ``(seed, workload)``.
+    """
+    span = Span(tracer, data["name"], parent, data.get("attrs"))
+    span.set_duration(float(data.get("duration_seconds", 0.0)))
+    for event in data.get("events", ()):
+        span.events.append(
+            (
+                float(event.get("at", 0.0)),
+                event["name"],
+                dict(event.get("attrs", {})),
+            )
+        )
+    span.dropped_events = int(data.get("dropped_events", 0))
+    for child in data.get("children", ()):
+        graft_span_dict(tracer, child, span)
+    if parent is None:
+        with tracer._lock:
+            tracer._roots.append(span)
+    else:
+        with parent._lock:
+            parent.children.append(span)
+    return span
+
+
 class Tracer:
     """Records spans into per-query trees.
 

@@ -313,18 +313,22 @@ TELEMETRY_FILE = "TELEMETRY.json"
 
 
 def save_observability(engine, directory: str) -> None:
-    """Persist the heatmap + workload log beside the store snapshot."""
+    """Persist the heatmap, workload log and slow-query log beside the
+    store snapshot."""
     import os
 
     telemetry = engine.storage_telemetry
     recorder = engine.workload_recorder
-    if telemetry is None and recorder is None:
+    slowlog = engine.slow_query_log
+    if telemetry is None and recorder is None and len(slowlog) == 0:
         return
     payload: Dict[str, Any] = {"version": 1}
     if telemetry is not None and telemetry.heatmap is not None:
         payload["heatmap"] = telemetry.heatmap.to_json()
     if recorder is not None:
         payload["workload"] = recorder.to_json()
+    if len(slowlog):
+        payload["slow_queries"] = slowlog.to_json()
     with open(os.path.join(directory, TELEMETRY_FILE), "w") as fh:
         json.dump(payload, fh)
 
@@ -358,5 +362,8 @@ def load_observability(engine, directory: str) -> bool:
     recorder = engine.workload_recorder
     if recorder is not None and "workload" in payload:
         recorder.restore_from_json(payload["workload"])
+        restored = True
+    if "slow_queries" in payload:
+        engine.slow_query_log.restore_from_json(payload["slow_queries"])
         restored = True
     return restored

@@ -10,11 +10,13 @@ See DESIGN.md §12 for the topology and the exactness argument.
 
 from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.coordinator import ServingCluster
+from repro.serve.obs import ClusterObservability
 from repro.serve.protocol import (
     Reply,
     Request,
     ThresholdPartial,
     TopKPartial,
+    TraceContext,
 )
 from repro.serve.supervisor import ReplicaHandle, ShardSupervisor
 from repro.serve.worker import WorkerSpec, worker_main
@@ -22,11 +24,13 @@ from repro.serve.worker import WorkerSpec, worker_main
 __all__ = [
     "AdmissionController",
     "TokenBucket",
+    "ClusterObservability",
     "ServingCluster",
     "Request",
     "Reply",
     "ThresholdPartial",
     "TopKPartial",
+    "TraceContext",
     "ReplicaHandle",
     "ShardSupervisor",
     "WorkerSpec",

@@ -52,15 +52,18 @@ from repro.geometry.trajectory import Trajectory
 from repro.index.ranges import IndexRange
 from repro.kvstore.rowkey import shard_of
 from repro.kvstore.table import ScanRange
-from repro.obs.tracing import NULL_TRACER
+from repro.obs.tracing import NULL_TRACER, graft_span_dict
 from repro.serve.admission import AdmissionController
+from repro.serve.obs import ClusterObservability
 from repro.serve.protocol import (
     KIND_CRASH,
     KIND_PING,
     KIND_STALL,
+    KIND_STATS,
     KIND_THRESHOLD,
     KIND_TOPK,
     Request,
+    TraceContext,
     decode_error,
     error_is_transient,
 )
@@ -84,6 +87,9 @@ class _Flight:
         "exhausted",
         "result",
         "error",
+        "spans",
+        "winner_slot",
+        "service_seconds",
     )
 
     def __init__(self, partition: int, request: Request):
@@ -100,6 +106,12 @@ class _Flight:
         self.exhausted = False
         self.result = None
         self.error = None
+        #: worker span subtree shipped on the winning reply (traced runs)
+        self.spans = None
+        #: replica slot that produced the winning reply
+        self.winner_slot: Optional[int] = None
+        #: launch-to-reply wall seconds of the winning attempt
+        self.service_seconds: Optional[float] = None
 
 
 class _PartitionBatch:
@@ -171,6 +183,9 @@ class ServingCluster:
         breaker_cooldown_seconds: float = 5.0,
         tracer=None,
         segment_dir: Optional[str] = None,
+        observability: bool = False,
+        slo_objective_seconds: float = 0.5,
+        slo_target: float = 0.99,
     ):
         if partitions < 1:
             raise ClusterError(f"partitions must be >= 1, got {partitions}")
@@ -204,6 +219,22 @@ class ServingCluster:
             admission if admission is not None else AdmissionController()
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Cluster-wide aggregation (SLO histograms, per-worker IO
+        # accumulation, heartbeats) only exists when asked for — the
+        # zero-cost-when-off contract leaves every hot-path guard a
+        # single `is not None` check.
+        self.obs: Optional[ClusterObservability] = (
+            ClusterObservability(
+                slo_objective_seconds=slo_objective_seconds,
+                slo_target=slo_target,
+            )
+            if observability
+            else None
+        )
+        #: per-partition attribution of the most recent single-query
+        #: scatter (partition/replica/attempts/hedged/reached), consumed
+        #: by the engine's slow-query log for cluster entries
+        self.last_fanout: Optional[List[Dict[str, object]]] = None
         self.supervisor = ShardSupervisor(max_restarts=max_restarts)
         self.breaker = CircuitBreaker(
             failure_threshold=breaker_failure_threshold,
@@ -364,6 +395,19 @@ class ServingCluster:
         self._next_request_id += 1
         return self._next_request_id
 
+    def _make_request(self, kind: str, payload: dict) -> Request:
+        """A query request, trace-stamped when the coordinator traces.
+
+        The trace context rides the request across the pipe; a worker
+        that sees one records its handler under a real tracer and ships
+        the span subtree back on the reply.  Untraced coordinators send
+        ``trace=None`` and workers stay on their zero-cost noop path.
+        """
+        request = Request(self._next_id(), kind, payload)
+        if self.tracer is not NULL_TRACER:
+            request.trace = TraceContext(trace_id=f"q{request.id}")
+        return request
+
     def _require_started(self) -> None:
         if not self._started:
             raise ClusterError("cluster is not started (call start())")
@@ -453,6 +497,12 @@ class ServingCluster:
 
     def _hedge(self, flight: _Flight) -> None:
         flight.hedged = True
+        if self.obs is not None:
+            # How long the primary stalled before we gave up waiting —
+            # the hedge-efficacy signal the doctor reads.
+            self.obs.observe_slo(
+                "hedge_wait", time.monotonic() - flight.attempt_started
+            )
         if flight.attempts >= self.max_attempts:
             return
         pick = self._eligible_replica(flight.partition, flight.tried)
@@ -484,7 +534,7 @@ class ServingCluster:
         handling hedges, failover, timeouts and dead workers."""
         self._require_started()
         flights = {
-            p: _Flight(p, Request(self._next_id(), kind, payload))
+            p: _Flight(p, self._make_request(kind, payload))
             for p in range(self.partitions)
         }
         self.counters["requests"] += 1
@@ -536,6 +586,18 @@ class ServingCluster:
                     self.breaker.record_success((flight.partition, slot))
                     flight.result = reply.payload
                     flight.done = True
+                    flight.spans = reply.spans
+                    flight.winner_slot = slot
+                    flight.service_seconds = (
+                        time.monotonic() - flight.attempt_started
+                    )
+                    if self.obs is not None:
+                        self.obs.absorb_reply(
+                            flight.partition, slot, reply.payload
+                        )
+                        self.obs.observe_partition_service(
+                            flight.partition, flight.service_seconds
+                        )
                     # A losing hedge copy will answer later; its reply
                     # drains as stale on the next use of that pipe.
                     flight.active.clear()
@@ -563,6 +625,16 @@ class ServingCluster:
                     >= self.hedge_delay_seconds
                 ):
                     self._hedge(flight)
+        self.last_fanout = [
+            {
+                "partition": p,
+                "replica": flight.winner_slot,
+                "attempts": flight.attempts,
+                "hedged": flight.hedged,
+                "reached": flight.done,
+            }
+            for p, flight in sorted(flights.items())
+        ]
         return flights
 
     # ------------------------------------------------------------------
@@ -669,6 +741,10 @@ class ServingCluster:
                         (state.partition, state.slot)
                     )
                     state.results[request.id] = reply
+                    if self.obs is not None:
+                        self.obs.absorb_reply(
+                            state.partition, state.slot, reply.payload
+                        )
                 elif error_is_transient(reply.error):
                     self.counters["worker_errors"] += 1
                     state.queue.appendleft(request)
@@ -870,7 +946,12 @@ class ServingCluster:
         if eps < 0:
             raise QueryError(f"threshold must be non-negative, got {eps}")
         resolved = self._plan_engine._resolve_measure(measure)
+        query_started = time.perf_counter()
         self.admission.admit(tenant)
+        if self.obs is not None:
+            self.obs.observe_slo(
+                "admission_wait", time.perf_counter() - query_started
+            )
         try:
             with self.tracer.span(
                 "serve.query", kind="threshold", tid=query.tid, eps=eps
@@ -881,8 +962,11 @@ class ServingCluster:
                 started = time.perf_counter()
                 flights = self._scatter(KIND_THRESHOLD, payload)
                 wall = time.perf_counter() - started
+                if self.obs is not None:
+                    self.obs.observe_slo("fanout", wall)
                 self._trace_flights(flights)
                 partials, unreachable = self._split_flights(flights)
+                merge_started = time.perf_counter()
                 result, skipped = self._merge_threshold(
                     partials,
                     unreachable,
@@ -891,12 +975,20 @@ class ServingCluster:
                     pruning_seconds,
                     wall,
                 )
+                if self.obs is not None:
+                    self.obs.observe_slo(
+                        "merge", time.perf_counter() - merge_started
+                    )
                 root.set_attrs(
                     answers=len(result.answers),
                     partitions=self.partitions,
                     unreachable=len(unreachable),
                 )
             self.counters["threshold_queries"] += 1
+            if self.obs is not None:
+                self.obs.observe_query(
+                    time.perf_counter() - query_started, ok=not skipped
+                )
             return self._finish(result, skipped, "threshold")
         finally:
             self.admission.release()
@@ -907,7 +999,12 @@ class ServingCluster:
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
         resolved = self._plan_engine._resolve_measure(measure)
+        query_started = time.perf_counter()
         self.admission.admit(tenant)
+        if self.obs is not None:
+            self.obs.observe_slo(
+                "admission_wait", time.perf_counter() - query_started
+            )
         try:
             with self.tracer.span(
                 "serve.query", kind="topk", tid=query.tid, k=k
@@ -921,22 +1018,38 @@ class ServingCluster:
                 started = time.perf_counter()
                 flights = self._scatter(KIND_TOPK, payload)
                 wall = time.perf_counter() - started
+                if self.obs is not None:
+                    self.obs.observe_slo("fanout", wall)
                 self._trace_flights(flights)
                 partials, unreachable = self._split_flights(flights)
+                merge_started = time.perf_counter()
                 result, skipped = self._merge_topk(
                     partials, unreachable, k, wall
                 )
+                if self.obs is not None:
+                    self.obs.observe_slo(
+                        "merge", time.perf_counter() - merge_started
+                    )
                 root.set_attrs(
                     answers=len(result.answers),
                     partitions=self.partitions,
                     unreachable=len(unreachable),
                 )
             self.counters["topk_queries"] += 1
+            if self.obs is not None:
+                self.obs.observe_query(
+                    time.perf_counter() - query_started, ok=not skipped
+                )
             return self._finish(result, skipped, "topk")
         finally:
             self.admission.release()
 
     def _trace_flights(self, flights: Dict[int, _Flight]) -> None:
+        """One ``serve.partition`` span per flight; a traced reply's
+        worker subtree is grafted under it, stitching the coordinator
+        and worker halves of the query into a single cross-process
+        tree.  Grafted durations are the worker's own measurements —
+        worker clocks never mix with the coordinator clock."""
         if self.tracer is NULL_TRACER:
             return
         for partition, flight in sorted(flights.items()):
@@ -947,7 +1060,32 @@ class ServingCluster:
                     attempts=flight.attempts,
                     hedged=flight.hedged,
                     reached=flight.done,
+                    replica=flight.winner_slot,
                 )
+            if flight.spans is not None:
+                graft_span_dict(self.tracer, flight.spans, span)
+
+    def _trace_batch(self, states: Dict[int, _PartitionBatch]) -> None:
+        """The batch analogue of :meth:`_trace_flights`: one
+        ``serve.partition`` span per pipelined stream, with every
+        traced reply's worker subtree grafted under it in request
+        (FIFO) order."""
+        if self.tracer is NULL_TRACER:
+            return
+        for partition, state in sorted(states.items()):
+            with self.tracer.span(
+                "serve.partition", partition=partition
+            ) as span:
+                span.set_attrs(
+                    attempts=state.attempts,
+                    reached=not state.exhausted,
+                    replica=state.slot,
+                    requests=len(state.requests),
+                )
+            for request in state.requests:
+                reply = state.results.get(request.id)
+                if reply is not None and reply.spans is not None:
+                    graft_span_dict(self.tracer, reply.spans, span)
 
     def threshold_search_many(
         self, queries, eps, measure=None, tenant: str = "default"
@@ -985,15 +1123,21 @@ class ServingCluster:
                 payloads.append(payload)
             requests_by_partition = {
                 p: [
-                    Request(self._next_id(), KIND_THRESHOLD, payload)
+                    self._make_request(KIND_THRESHOLD, payload)
                     for payload in payloads
                 ]
                 for p in range(self.partitions)
             }
             self.counters["requests"] += 1
-            started = time.perf_counter()
-            states = self._batch_scatter(requests_by_partition)
-            wall = time.perf_counter() - started
+            with self.tracer.span(
+                "serve.query_batch", kind="threshold", queries=len(queries)
+            ):
+                started = time.perf_counter()
+                states = self._batch_scatter(requests_by_partition)
+                wall = time.perf_counter() - started
+                self._trace_batch(states)
+            if self.obs is not None:
+                self.obs.observe_slo("fanout", wall)
             results = []
             for i in range(len(queries)):
                 partials: Dict[int, object] = {}
@@ -1016,6 +1160,10 @@ class ServingCluster:
                     wall / len(queries),
                 )
                 self.counters["threshold_queries"] += 1
+                if self.obs is not None:
+                    self.obs.observe_query(
+                        wall / len(queries), ok=not skipped
+                    )
                 results.append(self._finish(result, skipped, "threshold"))
             return results
         finally:
@@ -1044,15 +1192,21 @@ class ServingCluster:
             ]
             requests_by_partition = {
                 p: [
-                    Request(self._next_id(), KIND_TOPK, payload)
+                    self._make_request(KIND_TOPK, payload)
                     for payload in payloads
                 ]
                 for p in range(self.partitions)
             }
             self.counters["requests"] += 1
-            started = time.perf_counter()
-            states = self._batch_scatter(requests_by_partition)
-            wall = time.perf_counter() - started
+            with self.tracer.span(
+                "serve.query_batch", kind="topk", queries=len(queries)
+            ):
+                started = time.perf_counter()
+                states = self._batch_scatter(requests_by_partition)
+                wall = time.perf_counter() - started
+                self._trace_batch(states)
+            if self.obs is not None:
+                self.obs.observe_slo("fanout", wall)
             results = []
             for i in range(len(queries)):
                 partials: Dict[int, object] = {}
@@ -1069,6 +1223,10 @@ class ServingCluster:
                     partials, unreachable, k, wall / len(queries)
                 )
                 self.counters["topk_queries"] += 1
+                if self.obs is not None:
+                    self.obs.observe_query(
+                        wall / len(queries), ok=not skipped
+                    )
                 results.append(self._finish(result, skipped, "topk"))
             return results
         finally:
@@ -1077,8 +1235,73 @@ class ServingCluster:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def heartbeat(self, timeout: float = 10.0) -> int:
+        """Poll every live replica for its observability snapshot
+        (cumulative ``IOMetrics``, metrics registry, heatmap grid,
+        slow-query log) and fold the latest into the cluster aggregate.
+        Returns how many workers answered; a no-op (0) when the cluster
+        was built without ``observability``.
+
+        Heartbeats ride the same FIFO pipes as queries, so polling an
+        idle cluster is safe; dead or unreachable workers are skipped
+        rather than restarted (the query path owns failover).
+        """
+        if self.obs is None:
+            return 0
+        self._require_started()
+        polled = 0
+        for partition, handles in enumerate(self._replicas):
+            for slot, handle in enumerate(handles):
+                if not handle.alive():
+                    continue
+                request = Request(self._next_id(), KIND_STATS)
+                try:
+                    handle.conn.send(request)
+                except (OSError, BrokenPipeError, ValueError):
+                    continue
+                deadline = time.monotonic() + timeout
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not handle.conn.poll(remaining):
+                        break
+                    try:
+                        reply = handle.conn.recv()
+                    except (EOFError, OSError):
+                        break
+                    if reply.id != request.id:
+                        # A losing hedge copy's late answer draining out.
+                        self.counters["stale_replies"] += 1
+                        continue
+                    if reply.ok:
+                        self.obs.absorb_heartbeat(
+                            partition, slot, reply.payload
+                        )
+                        polled += 1
+                    break
+        return polled
+
+    def io_totals(self) -> Dict[str, int]:
+        """Cluster-wide ``IOMetrics`` rollup (sum of every successful
+        reply's counter delta); empty without ``observability``."""
+        return self.obs.io_totals() if self.obs is not None else {}
+
+    def cluster_heatmap(self):
+        """The heat-conserving merge of the latest per-worker heatmap
+        grids; ``None`` without ``observability`` or before the first
+        heartbeat delivers a grid."""
+        if self.obs is None:
+            return None
+        return self.obs.cluster_heatmap()
+
+    def doctor(self):
+        """Cluster-scoped advisor: evidence-cited recommendations from
+        the aggregated serving metrics."""
+        from repro.obs.advisor import diagnose_cluster
+
+        return diagnose_cluster(self)
+
     def stats(self) -> Dict[str, object]:
-        return {
+        base: Dict[str, object] = {
             "partitions": self.partitions,
             "replication": self.replication,
             "started": self._started,
@@ -1087,3 +1310,11 @@ class ServingCluster:
             "breaker": self.breaker.snapshot(),
             "admission": self.admission.snapshot(),
         }
+        if self.obs is not None:
+            if self._started:
+                try:
+                    self.heartbeat()
+                except ClusterError:
+                    pass
+            base["observability"] = self.obs.snapshot()
+        return base

@@ -1,0 +1,276 @@
+"""Coordinator-side observability aggregation for the serving tier.
+
+The worker processes already run full single-process observability
+stacks — ``IOMetrics``, metrics registries, heatmaps, slow-query logs —
+but those live behind a pipe.  This module is the coordinator's
+accumulator for everything that crosses it:
+
+* **reply deltas** — every successful query reply carries the worker's
+  full ``IOMetrics`` counter delta for that request; they are summed
+  per ``(partition, replica)`` slot and rolled up cluster-wide, so the
+  coordinator's accounting matches the single-process engine
+  field-for-field.
+* **heartbeats** — a ``stats`` request returns the worker's cumulative
+  snapshot (metrics registry, heatmap grid, slow-query log); the
+  latest snapshot per slot is kept, and worker heatmap grids merge
+  *heat-conservingly* into one cluster heatmap (grids are element-wise
+  sums over the same salted-key buckets, so total heat is the sum of
+  worker heats).
+* **latency SLOs** — fixed-bucket histograms (the
+  :class:`~repro.obs.registry.Histogram` the engine already uses) for
+  admission wait, scatter fan-out, per-partition service, hedge wait,
+  merge time and end-to-end query time, with p50/p95/p99 estimates and
+  error-budget burn counters against a configurable objective.
+
+Everything here is read-model only: the aggregate is fed from data the
+query path already produced, never consulted by it, so answers are
+byte-identical whether the aggregate exists or not — and when the
+cluster is built without observability none of this is allocated
+(the zero-cost-when-off contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.registry import Histogram
+
+#: SLO histogram keys -> help text; exported as
+#: ``trass.serve.slo.{key}_seconds``
+SLO_HISTOGRAM_HELP: Dict[str, str] = {
+    "admission_wait": "seconds a query spent in the admission gate",
+    "fanout": "scatter wall seconds (first send to last gather)",
+    "partition_service": "per-partition service seconds (launch to reply)",
+    "hedge_wait": "seconds a query stalled before a hedge was sent",
+    "merge": "coordinator merge seconds",
+    "query": "end-to-end coordinator query seconds",
+}
+
+
+class ClusterObservability:
+    """The coordinator's aggregation point for cluster-wide telemetry.
+
+    ``slo_objective_seconds`` is the per-query latency objective;
+    ``slo_target`` the fraction of queries that must meet it (the SLO).
+    A query is *good* when it completes inside the objective with no
+    skipped ranges; the error-budget burn rate is the observed bad
+    fraction over the allowed bad fraction (``1 - slo_target``) — burn
+    > 1 means the budget is being spent faster than the SLO allows.
+    """
+
+    def __init__(
+        self,
+        slo_objective_seconds: float = 0.5,
+        slo_target: float = 0.99,
+    ):
+        if slo_objective_seconds <= 0:
+            raise ValueError(
+                f"slo_objective_seconds must be > 0, "
+                f"got {slo_objective_seconds}"
+            )
+        if not 0.0 < slo_target < 1.0:
+            raise ValueError(
+                f"slo_target must be in (0, 1), got {slo_target}"
+            )
+        self.slo_objective_seconds = float(slo_objective_seconds)
+        self.slo_target = float(slo_target)
+        self.histograms: Dict[str, Histogram] = {
+            key: Histogram(f"trass.serve.slo.{key}_seconds", help)
+            for key, help in SLO_HISTOGRAM_HELP.items()
+        }
+        self.slo_good = 0
+        self.slo_bad = 0
+        #: (partition, replica slot) -> {"queries", "io": {field: sum}}
+        self.workers: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        #: (partition, replica slot) -> latest heartbeat payload
+        self.heartbeats: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        #: partition -> [service seconds sum, reply count]
+        self.partition_service: Dict[int, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def observe_slo(self, key: str, seconds: float) -> None:
+        self.histograms[key].observe(seconds)
+
+    def observe_query(self, seconds: float, ok: bool = True) -> None:
+        """One finished query against the SLO: latency histogram plus
+        the error-budget good/bad tally."""
+        self.histograms["query"].observe(seconds)
+        if ok and seconds <= self.slo_objective_seconds:
+            self.slo_good += 1
+        else:
+            self.slo_bad += 1
+
+    def observe_partition_service(
+        self, partition: int, seconds: float
+    ) -> None:
+        bucket = self.partition_service.setdefault(partition, [0.0, 0])
+        bucket[0] += seconds
+        bucket[1] += 1
+        self.histograms["partition_service"].observe(seconds)
+
+    def absorb_reply(
+        self, partition: int, slot: int, payload: Any
+    ) -> None:
+        """Fold one successful reply's ``IOMetrics`` delta into the
+        slot's running totals."""
+        agg = self.workers.setdefault(
+            (partition, slot), {"queries": 0, "io": {}}
+        )
+        agg["queries"] += 1
+        delta = getattr(payload, "io_delta", None)
+        if delta:
+            io = agg["io"]
+            for field, value in delta.items():
+                io[field] = io.get(field, 0) + value
+
+    def absorb_heartbeat(
+        self, partition: int, slot: int, snapshot: Dict[str, Any]
+    ) -> None:
+        self.heartbeats[(partition, slot)] = snapshot
+
+    # ------------------------------------------------------------------
+    # Aggregated views
+    # ------------------------------------------------------------------
+    def io_totals(self) -> Dict[str, int]:
+        """Cluster rollup: the sum of every reply delta across slots —
+        the distributed analogue of ``engine.metrics.snapshot()`` for
+        coordinator-routed query work."""
+        totals: Dict[str, int] = {}
+        for agg in self.workers.values():
+            for field, value in agg["io"].items():
+                totals[field] = totals.get(field, 0) + value
+        return totals
+
+    def cluster_heatmap(self):
+        """Merge the latest per-worker heatmap grids heat-conservingly
+        (element-wise sums over identical bucket boundaries); ``None``
+        until a heartbeat has delivered a grid.
+
+        Replicas of the same partition scan the same rows, so only the
+        lowest heartbeat-reporting slot of each partition contributes —
+        counting every replica would inflate partition heat by the
+        replication factor.
+        """
+        from repro.obs.heatmap import KeySpaceHeatmap
+
+        chosen: Dict[int, Dict[str, Any]] = {}
+        for (partition, slot), beat in sorted(self.heartbeats.items()):
+            if beat.get("heatmap") is None:
+                continue
+            if partition not in chosen:
+                chosen[partition] = beat["heatmap"]
+        merged = None
+        for grid in chosen.values():
+            restored = KeySpaceHeatmap.from_json(grid)
+            if merged is None:
+                merged = restored
+            else:
+                merged.merge_from(restored)
+        return merged
+
+    def worker_slow_queries(self) -> List[Dict[str, Any]]:
+        """Every worker slow-log entry seen in the latest heartbeats,
+        tagged with its partition/replica."""
+        out: List[Dict[str, Any]] = []
+        for (partition, slot), beat in sorted(self.heartbeats.items()):
+            for entry in beat.get("slow_queries", ()):
+                tagged = dict(entry)
+                tagged["partition"] = partition
+                tagged["replica"] = slot
+                out.append(tagged)
+        return out
+
+    def error_budget(self) -> Dict[str, Any]:
+        total = self.slo_good + self.slo_bad
+        bad_rate = (self.slo_bad / total) if total else 0.0
+        allowed = 1.0 - self.slo_target
+        return {
+            "objective_seconds": self.slo_objective_seconds,
+            "target": self.slo_target,
+            "good_events": self.slo_good,
+            "bad_events": self.slo_bad,
+            "bad_rate": bad_rate,
+            "burn_rate": (bad_rate / allowed) if allowed > 0 else 0.0,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The JSON-friendly aggregate for ``cluster.stats()``."""
+        heatmap = self.cluster_heatmap()
+        workers = []
+        for (partition, slot), agg in sorted(self.workers.items()):
+            beat = self.heartbeats.get((partition, slot))
+            workers.append(
+                {
+                    "partition": partition,
+                    "replica": slot,
+                    "queries": agg["queries"],
+                    "io": dict(agg["io"]),
+                    "heartbeat": (
+                        {
+                            "pid": beat.get("pid"),
+                            "trajectories": beat.get("trajectories"),
+                            "io": beat.get("io"),
+                            "slow_queries": len(
+                                beat.get("slow_queries") or ()
+                            ),
+                        }
+                        if beat is not None
+                        else None
+                    ),
+                }
+            )
+        # Heartbeat-only slots (no query routed there yet) still show.
+        for (partition, slot), beat in sorted(self.heartbeats.items()):
+            if (partition, slot) not in self.workers:
+                workers.append(
+                    {
+                        "partition": partition,
+                        "replica": slot,
+                        "queries": 0,
+                        "io": {},
+                        "heartbeat": {
+                            "pid": beat.get("pid"),
+                            "trajectories": beat.get("trajectories"),
+                            "io": beat.get("io"),
+                            "slow_queries": len(
+                                beat.get("slow_queries") or ()
+                            ),
+                        },
+                    }
+                )
+        workers.sort(key=lambda w: (w["partition"], w["replica"]))
+        return {
+            "slo": {
+                "summaries": {
+                    key: hist.summary()
+                    for key, hist in sorted(self.histograms.items())
+                },
+                "histograms": {
+                    key: hist.to_json()
+                    for key, hist in sorted(self.histograms.items())
+                },
+                "error_budget": self.error_budget(),
+            },
+            "workers": workers,
+            "cluster_io": self.io_totals(),
+            "partition_service": {
+                str(p): {
+                    "seconds": s,
+                    "replies": int(n),
+                    "mean_seconds": (s / n) if n else 0.0,
+                }
+                for p, (s, n) in sorted(self.partition_service.items())
+            },
+            "slow_queries": self.worker_slow_queries(),
+            "heatmap": (
+                {
+                    "total_heat": heatmap.total_heat,
+                    "total_rows": heatmap.total_rows,
+                    "buckets": len(heatmap.heat),
+                }
+                if heatmap is not None
+                else None
+            ),
+        }

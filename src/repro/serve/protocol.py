@@ -26,16 +26,39 @@ from repro.core.executor import ScanReport
 from repro.core.local_filter import LocalFilterStats
 from repro.exceptions import ClusterError, TransientError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: query kinds
 KIND_THRESHOLD = "threshold"
 KIND_TOPK = "topk"
 KIND_PING = "ping"
+#: observability kind: the worker answers with a metrics/telemetry
+#: snapshot (the coordinator's heartbeat poll)
+KIND_STATS = "stats"
 #: directive kinds (tests and chaos drills)
 KIND_STALL = "stall"
 KIND_CRASH = "crash"
 KIND_SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Cross-process trace propagation: stamped on a :class:`Request`
+    when the coordinator is tracing.
+
+    ``trace_id`` identifies the query's scatter (the coordinator's
+    request id); ``parent_span`` names the coordinator span the
+    worker's subtree will be grafted under.  A worker that sees a trace
+    context runs its handler under a recording tracer and ships the
+    completed span subtree back on the :class:`Reply`; without one the
+    worker's tracing stays at the zero-cost noop default.
+    """
+
+    trace_id: str
+    parent_span: str = "serve.partition"
+    #: ship per-record span events across the pipe (off by default —
+    #: events can be plentiful and the envelope rides the hot path)
+    include_events: bool = False
 
 
 @dataclass
@@ -45,6 +68,8 @@ class Request:
     id: int
     kind: str
     payload: Dict[str, Any] = field(default_factory=dict)
+    #: non-None when the coordinator wants the worker's span subtree
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -56,6 +81,9 @@ class Reply:
     payload: Any = None
     #: ``(exception type name, message, transient?)`` when ``not ok``
     error: Optional[Tuple[str, str, bool]] = None
+    #: the worker's completed span subtree (``Span.to_dict`` form) when
+    #: the request carried a :class:`TraceContext`
+    spans: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -74,6 +102,10 @@ class ThresholdPartial:
     refine_seconds: float
     resilience: Optional[ScanReport] = None
     filter_stats: Optional[LocalFilterStats] = None
+    #: full IOMetrics counter delta for this request (field -> count),
+    #: so coordinator-side accounting matches the single-process engine
+    #: field-for-field instead of carrying only ``rows_scanned``
+    io_delta: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -93,6 +125,9 @@ class TopKPartial:
     total_seconds: float
     resilience: Optional[ScanReport] = None
     filter_stats: Optional[LocalFilterStats] = None
+    #: full IOMetrics counter delta for this request (see
+    #: :class:`ThresholdPartial`)
+    io_delta: Optional[Dict[str, int]] = None
 
 
 def encode_error(exc: BaseException) -> Tuple[str, str, bool]:

@@ -37,12 +37,14 @@ from repro.serve.protocol import (
     KIND_PING,
     KIND_SHUTDOWN,
     KIND_STALL,
+    KIND_STATS,
     KIND_THRESHOLD,
     KIND_TOPK,
     Reply,
     Request,
     ThresholdPartial,
     TopKPartial,
+    TraceContext,
     encode_error,
 )
 
@@ -114,6 +116,7 @@ def threshold_partial(
     """
     store = engine.store
     if index_ranges is None:
+        before = store.metrics.snapshot()
         result = engine._full_scan_threshold(query, eps, measure)
         return ThresholdPartial(
             answers=result.answers,
@@ -122,6 +125,7 @@ def threshold_partial(
             pruning_seconds=0.0,
             scan_seconds=result.scan_seconds,
             refine_seconds=result.refine_seconds,
+            io_delta=store.metrics.diff(before),
         )
 
     started = time.perf_counter()
@@ -158,18 +162,19 @@ def threshold_partial(
         scan_ranges, row_filter, on_range_rows=refine
     )
     elapsed = time.perf_counter() - scan_started
-    retrieved = store.metrics.diff(before)["rows_scanned"]
+    io_delta = store.metrics.diff(before)
     refine_seconds = min(refine_clock[0], elapsed)
 
     return ThresholdPartial(
         answers=answers,
         candidates=len(rows),
-        retrieved_rows=retrieved,
+        retrieved_rows=io_delta["rows_scanned"],
         pruning_seconds=pruning_seconds,
         scan_seconds=elapsed - refine_seconds,
         refine_seconds=refine_seconds,
         resilience=scan_report,
         filter_stats=local.stats,
+        io_delta=io_delta,
     )
 
 
@@ -180,6 +185,7 @@ def topk_partial(engine: TraSS, query: Trajectory, k: int, measure_name):
     each worker runs the full best-first search on its own store and
     the coordinator keeps the global k smallest.
     """
+    before = engine.metrics.snapshot()
     result = engine.topk_search(query, k, measure=measure_name)
     return TopKPartial(
         answers=result.answers,
@@ -190,7 +196,33 @@ def topk_partial(engine: TraSS, query: Trajectory, k: int, measure_name):
         total_seconds=result.total_seconds,
         resilience=result.resilience,
         filter_stats=result.filter_stats,
+        io_delta=engine.metrics.diff(before),
     )
+
+
+def worker_stats(engine: TraSS, spec: WorkerSpec) -> dict:
+    """The worker's observability snapshot — the heartbeat payload.
+
+    Carries the cumulative ``IOMetrics`` totals, the refreshed metrics
+    registry, the worker's heatmap grid (heat merges conservingly on
+    the coordinator) and its slow-query log.  Everything is plain JSON
+    data: the coordinator aggregates without importing worker state.
+    """
+    from repro.obs.registry import update_registry_from_engine
+
+    update_registry_from_engine(engine.registry, engine)
+    telemetry = engine.storage_telemetry
+    heatmap = telemetry.heatmap if telemetry is not None else None
+    return {
+        "partition": spec.partition,
+        "replica": spec.replica,
+        "pid": os.getpid(),
+        "trajectories": len(engine),
+        "io": engine.metrics.snapshot(),
+        "registry": engine.registry.to_json(),
+        "heatmap": heatmap.to_json() if heatmap is not None else None,
+        "slow_queries": engine.slow_query_log.to_json(),
+    }
 
 
 def _handle(engine: TraSS, spec: WorkerSpec, request: Request):
@@ -202,6 +234,8 @@ def _handle(engine: TraSS, spec: WorkerSpec, request: Request):
             "trajectories": len(engine),
             "pid": os.getpid(),
         }
+    if request.kind == KIND_STATS:
+        return worker_stats(engine, spec)
     query = Trajectory(payload["tid"], payload["points"])
     measure = engine._resolve_measure(payload.get("measure"))
     if request.kind == KIND_THRESHOLD:
@@ -245,8 +279,12 @@ def worker_main(spec: WorkerSpec, conn) -> None:
                 return
             continue
         try:
-            result = _handle(engine, spec, request)
-            reply = Reply(request.id, True, payload=result)
+            trace = getattr(request, "trace", None)
+            if trace is not None:
+                reply = _handle_traced(engine, spec, request, trace)
+            else:
+                result = _handle(engine, spec, request)
+                reply = Reply(request.id, True, payload=result)
         except SimulatedCrash:
             os._exit(1)
         except Exception as exc:  # typed error crosses the wire
@@ -255,3 +293,33 @@ def worker_main(spec: WorkerSpec, conn) -> None:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             return
+
+
+def _handle_traced(
+    engine: TraSS, spec: WorkerSpec, request: Request, trace: TraceContext
+) -> Reply:
+    """Run one request under a recording tracer and ship the subtree.
+
+    The tracer rides the engine's ``trace_clock`` — wall time plus
+    virtual charges normally, purely virtual under fault injection —
+    so shipped durations are deterministic in chaos drills.  Tracing is
+    observational: the handler result is byte-identical to an untraced
+    run, only the reply gains the ``spans`` envelope.
+    """
+    tracer = engine.make_tracer()
+    with engine.traced(tracer):
+        with tracer.span(
+            "worker.handle",
+            trace_id=trace.trace_id,
+            kind=request.kind,
+            partition=spec.partition,
+            replica=spec.replica,
+            pid=os.getpid(),
+        ) as root:
+            result = _handle(engine, spec, request)
+    return Reply(
+        request.id,
+        True,
+        payload=result,
+        spans=root.to_dict(include_events=trace.include_events),
+    )

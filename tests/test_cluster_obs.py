@@ -1,0 +1,537 @@
+"""Cluster-wide observability: cross-process trace stitching, worker
+metrics aggregation, latency SLOs and the serving doctor.
+
+The standing invariant pinned throughout: observability is a pure
+read-model.  A cluster built with ``observability=True`` (and/or a
+recording tracer) returns byte-identical answers, candidate counts and
+resilience accounting to one built without — including under stalls,
+hedging and failover — and the aggregated worker IO matches the
+single-process engine field-for-field (planning excepted: the
+coordinator plans once, so workers never touch the plan cache).
+"""
+
+import random
+
+import pytest
+
+from repro import SpaceBounds, TraSS, TraSSConfig, Trajectory
+from repro.obs import Tracer, parse_prometheus
+from repro.obs.advisor import diagnose_cluster
+from repro.obs.heatmap import KeySpaceHeatmap
+from repro.obs.tracing import NULL_TRACER
+from repro.serve import ClusterObservability, ServingCluster
+
+pytestmark = pytest.mark.serving
+
+BEIJING = SpaceBounds(116.0, 39.5, 117.0, 40.5)
+EPS = 0.01
+
+
+def _walks(n, seed=11):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x = rng.uniform(116.1, 116.9)
+        y = rng.uniform(39.6, 40.4)
+        points = [(x, y)]
+        for _ in range(rng.randint(5, 30)):
+            x += rng.uniform(-0.005, 0.005)
+            y += rng.uniform(-0.005, 0.005)
+            points.append((x, y))
+        out.append(Trajectory(f"t{i}", points))
+    return out
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _walks(60)
+
+
+@pytest.fixture(scope="module")
+def engine(dataset):
+    config = TraSSConfig(
+        bounds=BEIJING,
+        max_resolution=12,
+        dp_tolerance=0.002,
+        shards=4,
+        storage_telemetry=True,
+        slow_query_threshold_seconds=0.0,
+    )
+    return TraSS.build(dataset, config)
+
+
+@pytest.fixture(scope="module")
+def obs_cluster(engine):
+    # A generous objective so every test query counts as SLO-good on
+    # any machine; budget-burn arithmetic is unit-tested separately.
+    with ServingCluster.from_engine(
+        engine,
+        partitions=2,
+        observability=True,
+        slo_objective_seconds=60.0,
+    ) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def plain_cluster(engine):
+    with ServingCluster.from_engine(engine, partitions=2) as c:
+        yield c
+
+
+# ----------------------------------------------------------------------
+# Trace propagation: one stitched tree across the process boundary
+# ----------------------------------------------------------------------
+class TestStitchedTrace:
+    def test_single_query_stitches_worker_spans(self, obs_cluster, dataset):
+        tracer = Tracer()
+        obs_cluster.tracer = tracer
+        try:
+            obs_cluster.threshold_search(dataset[0], EPS)
+        finally:
+            obs_cluster.tracer = NULL_TRACER
+        root = tracer.traces()[-1]
+        assert root.name == "serve.query"
+        partitions = root.find("serve.partition")
+        assert len(partitions) == obs_cluster.partitions
+        for span in partitions:
+            assert span.attrs["replica"] == 0  # healthy: primary served
+            handles = span.find("worker.handle")
+            # The grafted subtree is the worker's own recording, shipped
+            # back on the Reply and re-rooted under the partition span.
+            assert len(handles) >= 1
+            assert handles[0].duration >= 0.0
+
+    def test_batch_query_stitches_per_partition(self, obs_cluster, dataset):
+        tracer = Tracer()
+        obs_cluster.tracer = tracer
+        try:
+            obs_cluster.threshold_search_many(dataset[:3], EPS)
+        finally:
+            obs_cluster.tracer = NULL_TRACER
+        root = tracer.traces()[-1]
+        assert root.name == "serve.query_batch"
+        partitions = root.find("serve.partition")
+        assert len(partitions) == obs_cluster.partitions
+        for span in partitions:
+            assert span.attrs["requests"] == 3
+            assert len(span.find("worker.handle")) == 3
+
+
+# ----------------------------------------------------------------------
+# The invariant: observability never changes answers
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    def _assert_same(self, a, b):
+        assert a.answers == b.answers
+        assert a.candidates == b.candidates
+        assert a.retrieved_rows == b.retrieved_rows
+        assert a.skipped_ranges == b.skipped_ranges
+        assert a.completeness == b.completeness
+        assert a.resilience.ranges_total == b.resilience.ranges_total
+
+    def test_threshold_and_topk_identical(
+        self, engine, dataset, obs_cluster, plain_cluster
+    ):
+        tracer = Tracer()
+        obs_cluster.tracer = tracer
+        try:
+            for q in dataset[:3]:
+                observed = obs_cluster.threshold_search(q, EPS)
+                plain = plain_cluster.threshold_search(q, EPS)
+                local = engine.threshold_search(q, EPS)
+                self._assert_same(observed, plain)
+                assert observed.answers == local.answers
+            obs_topk = obs_cluster.topk_search(dataset[0], 5)
+            plain_topk = plain_cluster.topk_search(dataset[0], 5)
+            assert obs_topk.answers == plain_topk.answers
+        finally:
+            obs_cluster.tracer = NULL_TRACER
+
+    def test_batch_identical(self, dataset, obs_cluster, plain_cluster):
+        queries = dataset[:6]
+        observed = obs_cluster.threshold_search_many(queries, EPS)
+        plain = plain_cluster.threshold_search_many(queries, EPS)
+        assert [r.answers for r in observed] == [r.answers for r in plain]
+        assert [r.candidates for r in observed] == [
+            r.candidates for r in plain
+        ]
+
+    def test_identical_under_stall_and_hedge(self, engine, dataset):
+        # Stall the primary so the hedge path fires; the observed and
+        # unobserved clusters must still agree with the local engine.
+        query = dataset[0]
+        local = engine.threshold_search(query, EPS)
+        for observability in (False, True):
+            with ServingCluster.from_engine(
+                engine,
+                partitions=2,
+                replication=2,
+                hedge_delay_seconds=0.05,
+                observability=observability,
+            ) as c:
+                c.stall_replica(0, 0, seconds=1.0)
+                served = c.threshold_search(query, EPS)
+                assert served.answers == local.answers
+                assert served.completeness == 1.0
+                if observability:
+                    snapshot = c.stats()["observability"]
+                    assert snapshot["slo"]["summaries"]["query"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Worker metrics aggregation
+# ----------------------------------------------------------------------
+class TestClusterAccounting:
+    def test_io_totals_match_single_process(self, dataset):
+        config = TraSSConfig(
+            bounds=BEIJING, max_resolution=12, dp_tolerance=0.002, shards=4
+        )
+        queries = dataset[:4]
+        local_engine = TraSS.build(dataset, config)
+        before = local_engine.metrics.snapshot()
+        for q in queries:
+            local_engine.threshold_search(q, EPS)
+        after = local_engine.metrics.snapshot()
+        local_delta = {k: after[k] - before[k] for k in after}
+
+        cluster_engine = TraSS.build(dataset, config)
+        with ServingCluster.from_engine(
+            cluster_engine, partitions=2, observability=True
+        ) as c:
+            for q in queries:
+                c.threshold_search(q, EPS)
+            totals = c.io_totals()
+        assert totals["rows_scanned"] > 0
+        for field, value in local_delta.items():
+            if field.startswith("plan_cache"):
+                continue  # the coordinator plans; workers receive ranges
+            assert totals.get(field, 0) == value, field
+
+    def test_worker_breakdown_and_heartbeats(self, obs_cluster, dataset):
+        for q in dataset[:2]:
+            obs_cluster.threshold_search(q, EPS)
+        assert obs_cluster.heartbeat() == 2  # one live replica per partition
+        snapshot = obs_cluster.stats()["observability"]
+        workers = snapshot["workers"]
+        assert {(w["partition"], w["replica"]) for w in workers} == {
+            (0, 0),
+            (1, 0),
+        }
+        for worker in workers:
+            assert worker["queries"] > 0
+            assert worker["io"]["rows_scanned"] >= 0
+            beat = worker["heartbeat"]
+            assert beat is not None
+            assert beat["trajectories"] > 0
+            assert beat["io"]["rows_scanned"] >= worker["io"]["rows_scanned"]
+
+    def test_heatmap_heat_conservation(self, engine, dataset, obs_cluster):
+        queries = dataset[:3]
+        telemetry = engine.storage_telemetry
+        base_rows = telemetry.heatmap.total_rows
+        for q in queries:
+            engine.threshold_search(q, EPS)
+        local_rows = telemetry.heatmap.total_rows - base_rows
+        assert local_rows > 0
+
+        cluster_base = (
+            obs_cluster.cluster_heatmap().total_rows
+            if obs_cluster.heartbeat() and obs_cluster.cluster_heatmap()
+            else 0
+        )
+        for q in queries:
+            obs_cluster.threshold_search(q, EPS)
+        obs_cluster.heartbeat()
+        merged = obs_cluster.cluster_heatmap()
+        # The merged per-partition grids account for exactly the rows a
+        # single-process scan of the same workload would have recorded.
+        assert merged.total_rows - cluster_base == local_rows
+
+    def test_prometheus_export_covers_the_cluster(self, engine, obs_cluster):
+        engine.set_remote_executor(obs_cluster)
+        try:
+            text = engine.export_metrics("prometheus")
+        finally:
+            engine.set_remote_executor(None)
+        samples = parse_prometheus(text)
+        names = set(samples)
+        assert any(n.startswith("trass_serve_worker_0_0_") for n in names)
+        assert any(n.startswith("trass_serve_worker_1_0_") for n in names)
+        assert any(n.startswith("trass_serve_cluster_io_") for n in names)
+        assert "trass_serve_slo_query_seconds_count" in samples
+        # SLO histograms export spec-correct cumulative le buckets.
+        assert (
+            samples['trass_serve_slo_query_seconds_bucket{le="+Inf"}']
+            == samples["trass_serve_slo_query_seconds_count"]
+        )
+
+    def test_heatmap_merge_dedupes_replicas(self):
+        obs = ClusterObservability()
+        grid = KeySpaceHeatmap([b"m"])
+        grid.record(b"a", weight=2.0)
+        grid.record(b"z", weight=1.0)
+        payload = grid.to_json()
+        # Two replicas of partition 0 report the same grid (they scan
+        # the same rows): only one contributes.  Partition 1's distinct
+        # grid still adds.
+        obs.absorb_heartbeat(0, 0, {"heatmap": payload})
+        obs.absorb_heartbeat(0, 1, {"heatmap": payload})
+        obs.absorb_heartbeat(1, 0, {"heatmap": payload})
+        merged = obs.cluster_heatmap()
+        assert merged.total_rows == 2 * grid.total_rows
+        assert merged.total_heat == pytest.approx(2 * grid.total_heat)
+
+
+# ----------------------------------------------------------------------
+# Slow-query log: cluster attribution and persistence
+# ----------------------------------------------------------------------
+class TestSlowLogCluster:
+    def test_cluster_queries_attributed_and_persisted(
+        self, engine, dataset, obs_cluster, tmp_path
+    ):
+        engine.slow_query_log.clear()
+        engine.set_remote_executor(obs_cluster)
+        try:
+            engine.threshold_search(dataset[0], EPS)
+        finally:
+            engine.set_remote_executor(None)
+        entries = engine.slow_query_log.entries()
+        assert entries, "threshold 0.0 must log every query"
+        entry = entries[-1]
+        assert entry.origin == "cluster"
+        assert entry.query_tid == dataset[0].tid
+        assert entry.fanout is not None
+        assert {f["partition"] for f in entry.fanout} == {0, 1}
+        for leg in entry.fanout:
+            assert leg["replica"] == 0
+            assert leg["reached"] is True
+            assert leg["attempts"] >= 1
+
+        target = str(tmp_path / "store")
+        engine.save(target)
+        loaded = TraSS.load(target)
+        restored = loaded.slow_query_log.entries()
+        assert [e.query_tid for e in restored] == [
+            e.query_tid for e in entries
+        ]
+        assert restored[-1].origin == "cluster"
+        assert restored[-1].fanout == entry.fanout
+
+
+# ----------------------------------------------------------------------
+# Latency SLOs and the error budget
+# ----------------------------------------------------------------------
+class TestLatencySLOs:
+    def test_slo_histograms_cover_every_stage(self, engine, dataset):
+        queries = dataset[:4]
+        with ServingCluster.from_engine(
+            engine,
+            partitions=2,
+            observability=True,
+            slo_objective_seconds=60.0,
+        ) as c:
+            for q in queries:
+                c.threshold_search(q, EPS)
+            snapshot = c.stats()["observability"]
+        summaries = snapshot["slo"]["summaries"]
+        n = len(queries)
+        assert summaries["query"]["count"] == n
+        assert summaries["admission_wait"]["count"] == n
+        assert summaries["fanout"]["count"] == n
+        assert summaries["merge"]["count"] == n
+        assert summaries["partition_service"]["count"] == n * 2
+        assert summaries["hedge_wait"]["count"] == 0  # nothing stalled
+        for key in ("query", "fanout", "partition_service"):
+            s = summaries[key]
+            assert s["sum"] > 0
+            assert 0 < s["p50"] <= s["p95"] <= s["p99"]
+        budget = snapshot["slo"]["error_budget"]
+        assert budget["good_events"] == n
+        assert budget["bad_events"] == 0
+        assert budget["burn_rate"] == 0.0
+        service = snapshot["partition_service"]
+        assert set(service) == {"0", "1"}
+        for entry in service.values():
+            assert entry["replies"] == n
+            assert entry["mean_seconds"] > 0
+
+    def test_error_budget_burn_arithmetic(self):
+        obs = ClusterObservability(
+            slo_objective_seconds=0.5, slo_target=0.99
+        )
+        for _ in range(9):
+            obs.observe_query(0.01)
+        obs.observe_query(2.0)  # over objective: bad
+        budget = obs.error_budget()
+        assert budget["good_events"] == 9
+        assert budget["bad_events"] == 1
+        # bad_rate 0.1 over an allowance of 0.01 burns at 10x.
+        assert budget["burn_rate"] == pytest.approx(10.0)
+
+    def test_skipped_queries_count_against_the_budget(self):
+        obs = ClusterObservability(slo_objective_seconds=60.0)
+        obs.observe_query(0.01, ok=False)  # degraded: fast but partial
+        assert obs.error_budget()["bad_events"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterObservability(slo_objective_seconds=0.0)
+        with pytest.raises(ValueError):
+            ClusterObservability(slo_target=1.0)
+
+    def test_absorb_reply_accumulates_io(self):
+        class _Payload:
+            def __init__(self, delta):
+                self.io_delta = delta
+
+        obs = ClusterObservability()
+        obs.absorb_reply(0, 0, _Payload({"rows_scanned": 5}))
+        obs.absorb_reply(0, 0, _Payload({"rows_scanned": 3, "gets": 1}))
+        obs.absorb_reply(1, 0, _Payload({"rows_scanned": 2}))
+        assert obs.workers[(0, 0)]["queries"] == 2
+        assert obs.workers[(0, 0)]["io"]["rows_scanned"] == 8
+        assert obs.io_totals() == {"rows_scanned": 10, "gets": 1}
+
+
+# ----------------------------------------------------------------------
+# The serving doctor
+# ----------------------------------------------------------------------
+class _FakeCluster:
+    def __init__(self, stats):
+        self._stats = stats
+
+    def stats(self):
+        return self._stats
+
+
+def _healthy_stats(**overrides):
+    stats = {
+        "partitions": 2,
+        "replication": 2,
+        "started": True,
+        "counters": {
+            "queries": 40,
+            "failovers": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "degraded_queries": 0,
+        },
+        "worker_restarts": 0,
+        "breaker": {
+            "trips": 0,
+            "open_regions": 0,
+            "tracked_regions": 4,
+            "probes_admitted": 0,
+            "any_open": False,
+        },
+        "admission": {
+            "in_flight": 0,
+            "admitted": 40,
+            "rejected_quota": 0,
+            "rejected_queue_depth": 0,
+            "tenants": {},
+        },
+        "observability": {
+            "workers": [
+                {"partition": 0, "replica": 0, "queries": 20, "io": {}},
+                {"partition": 1, "replica": 0, "queries": 20, "io": {}},
+            ],
+            "partition_service": {
+                "0": {"seconds": 0.2, "replies": 20, "mean_seconds": 0.01},
+                "1": {"seconds": 0.24, "replies": 20, "mean_seconds": 0.012},
+            },
+        },
+    }
+    stats.update(overrides)
+    return stats
+
+
+class TestServingDoctor:
+    def test_healthy_cluster_has_no_findings(self):
+        assert diagnose_cluster(_FakeCluster(_healthy_stats())) == []
+
+    def test_live_cluster_doctor_is_quiet(self, obs_cluster, dataset):
+        obs_cluster.threshold_search(dataset[0], EPS)
+        assert [r.kind for r in obs_cluster.doctor()] == []
+
+    def test_replica_imbalance(self):
+        stats = _healthy_stats()
+        stats["observability"]["workers"] = [
+            {"partition": 0, "replica": 0, "queries": 3, "io": {}},
+            {"partition": 0, "replica": 1, "queries": 17, "io": {}},
+            {"partition": 1, "replica": 0, "queries": 20, "io": {}},
+        ]
+        recs = diagnose_cluster(_FakeCluster(stats))
+        assert [r.kind for r in recs] == ["replica-load-imbalance"]
+        assert recs[0].severity == "warning"
+        assert recs[0].evidence["partition"] == 0
+        assert recs[0].evidence["backup_share"] == pytest.approx(0.85)
+
+    def test_replica_imbalance_needs_replication(self):
+        # A single-replica cluster routes everything to slot 0 — the
+        # rule must not fire on the healthy primary-first pattern.
+        stats = _healthy_stats(replication=1)
+        assert diagnose_cluster(_FakeCluster(stats)) == []
+
+    def test_breaker_flapping(self):
+        stats = _healthy_stats()
+        stats["breaker"]["trips"] = 5
+        stats["worker_restarts"] = 2
+        recs = diagnose_cluster(_FakeCluster(stats))
+        assert [r.kind for r in recs] == ["breaker-flapping"]
+        assert recs[0].evidence["trips"] == 5
+        assert recs[0].evidence["worker_restarts"] == 2
+
+    def test_hedge_waste_and_chronic_straggler(self):
+        waste = _healthy_stats()
+        waste["counters"].update(hedges=10, hedge_wins=1)
+        recs = diagnose_cluster(_FakeCluster(waste))
+        assert [r.kind for r in recs] == ["hedge-efficacy"]
+        assert recs[0].severity == "info"
+
+        chronic = _healthy_stats()
+        chronic["counters"].update(hedges=10, hedge_wins=9)
+        recs = diagnose_cluster(_FakeCluster(chronic))
+        assert recs[0].severity == "warning"
+        assert "straggle" in recs[0].title
+
+        healthy_rate = _healthy_stats()
+        healthy_rate["counters"].update(hedges=10, hedge_wins=4)
+        assert diagnose_cluster(_FakeCluster(healthy_rate)) == []
+
+    def test_shed_rate_escalates_to_critical(self):
+        mild = _healthy_stats()
+        mild["admission"].update(admitted=90, rejected_quota=10)
+        recs = diagnose_cluster(_FakeCluster(mild))
+        assert [r.kind for r in recs] == ["shed-rate"]
+        assert recs[0].severity == "warning"
+
+        severe = _healthy_stats()
+        severe["admission"].update(
+            admitted=60, rejected_quota=20, rejected_queue_depth=20
+        )
+        recs = diagnose_cluster(_FakeCluster(severe))
+        assert recs[0].severity == "critical"
+
+    def test_slow_partition_skew(self):
+        # max/mean needs >= 3 partitions to reach the 2x ratio: with
+        # two, the slowest can never exceed twice the mean.
+        stats = _healthy_stats(partitions=3)
+        stats["observability"]["partition_service"] = {
+            "0": {"seconds": 0.1, "replies": 20, "mean_seconds": 0.005},
+            "1": {"seconds": 0.1, "replies": 20, "mean_seconds": 0.005},
+            "2": {"seconds": 1.0, "replies": 20, "mean_seconds": 0.05},
+        }
+        recs = diagnose_cluster(_FakeCluster(stats))
+        assert [r.kind for r in recs] == ["slow-partition-skew"]
+        assert recs[0].evidence["slowest_partition"] == 2
+
+    def test_findings_rank_by_severity(self):
+        stats = _healthy_stats()
+        stats["breaker"]["trips"] = 5  # warning
+        stats["admission"].update(
+            admitted=60, rejected_quota=20, rejected_queue_depth=20
+        )  # critical
+        recs = diagnose_cluster(_FakeCluster(stats))
+        assert [r.severity for r in recs] == ["critical", "warning"]

@@ -21,6 +21,7 @@ from repro import SpaceBounds, TraSS, TraSSConfig, Trajectory
 from repro.exceptions import QueryError
 from repro.kvstore.faults import FaultInjector, FaultSchedule
 from repro.obs.registry import (
+    Histogram,
     MetricsRegistry,
     parse_prometheus,
     update_registry_from_engine,
@@ -553,3 +554,111 @@ class TestEngineMetricsExport:
         engine, _ = obs_engine
         with pytest.raises(QueryError):
             engine.export_metrics("xml")
+
+
+# ----------------------------------------------------------------------
+# Histogram quantiles and merge semantics (the SLO building block)
+# ----------------------------------------------------------------------
+class TestHistogramQuantiles:
+    BUCKETS = (0.001, 0.01, 0.1, 1.0)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("t.q", buckets=self.BUCKETS)
+        assert h.quantile(0.5) is None
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["p99"] is None
+
+    def test_quantile_interpolates_inside_bucket(self):
+        h = Histogram("t.q", buckets=self.BUCKETS)
+        for _ in range(100):
+            h.observe(0.05)  # all mass in the (0.01, 0.1] bucket
+        # Every quantile lands inside that bucket's bounds.
+        for q in (0.5, 0.95, 0.99):
+            assert 0.01 < h.quantile(q) <= 0.1
+
+    def test_quantile_overflow_clamps_to_top_bound(self):
+        h = Histogram("t.q", buckets=self.BUCKETS)
+        for _ in range(10):
+            h.observe(50.0)  # all in +Inf
+        assert h.quantile(0.5) == 1.0  # lower-bound estimate, as in PromQL
+
+    def test_quantile_validation(self):
+        h = Histogram("t.q", buckets=self.BUCKETS)
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_from_accumulates(self):
+        a = Histogram("t.a", buckets=self.BUCKETS)
+        b = Histogram("t.b", buckets=self.BUCKETS)
+        for v in (0.005, 0.05, 0.5):
+            a.observe(v)
+        for v in (0.0005, 5.0):
+            b.observe(v)
+        a.merge_from(b)
+        assert a.count == 5
+        assert a.sum == pytest.approx(0.005 + 0.05 + 0.5 + 0.0005 + 5.0)
+        assert sum(a.counts) == 5
+
+    def test_merge_from_rejects_mismatched_buckets(self):
+        a = Histogram("t.a", buckets=(0.1, 1.0))
+        b = Histogram("t.b", buckets=(0.2, 2.0))
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_set_state_overwrites_not_accumulates(self):
+        h = Histogram("t.q", buckets=(0.1, 1.0))
+        h.set_state([1, 2, 3], 4.5, 6)
+        h.set_state([1, 2, 3], 4.5, 6)  # a refresh must not double-count
+        assert h.counts == [1, 2, 3]
+        assert h.count == 6
+        assert h.sum == 4.5
+        with pytest.raises(ValueError):
+            h.set_state([1, 2], 1.0, 3)  # wrong slot count
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition: pinned byte-for-byte against a golden file
+# ----------------------------------------------------------------------
+class TestPrometheusGolden:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "trass.io.rows_scanned", "rows scanned by range scans"
+        ).inc(1234)
+        reg.gauge("trass.store.trajectories", "trajectories stored").set(56)
+        h = reg.histogram(
+            "trass.query.seconds",
+            "end-to-end query seconds",
+            buckets=(0.001, 0.01, 0.1, 1.0),
+        )
+        for v in (0.0005, 0.004, 0.004, 0.05, 0.2, 5.0):
+            h.observe(v)
+        return reg
+
+    def test_exposition_matches_golden_file(self):
+        import os
+
+        golden = os.path.join(
+            os.path.dirname(__file__), "golden", "prometheus_small.txt"
+        )
+        with open(golden) as fh:
+            expected = fh.read()
+        assert self._registry().to_prometheus() == expected
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self):
+        text = self._registry().to_prometheus()
+        samples = parse_prometheus(text)
+        # le buckets must be cumulative: each bound's count >= the
+        # previous, +Inf equals the series count.
+        counts = [
+            samples[f'trass_query_seconds_bucket{{le="{le}"}}']
+            for le in ("0.001", "0.01", "0.1", "1")
+        ]
+        assert counts == sorted(counts)
+        assert samples['trass_query_seconds_bucket{le="+Inf"}'] == samples[
+            "trass_query_seconds_count"
+        ]
+        assert counts[-1] <= samples["trass_query_seconds_count"]
